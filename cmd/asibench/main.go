@@ -1,0 +1,94 @@
+// Command asibench regenerates every table and figure of the paper's
+// evaluation (section 4) plus the future-work extension experiments, as
+// aligned text tables or CSV.
+//
+// Usage:
+//
+//	asibench                  # run everything
+//	asibench -exp fig6        # one experiment (see -list)
+//	asibench -seeds 8         # more repetitions per change scenario
+//	asibench -csv             # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
+	seeds := flag.Int("seeds", 4, "repetitions of each change scenario")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	outDir := flag.String("o", "", "also write one .txt (and .csv) file per report into this directory")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiment.Runners() {
+			fmt.Printf("%-16s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	opts := experiment.Opts{Seeds: *seeds, Workers: *workers}
+	var runners []experiment.Runner
+	if *exp == "all" {
+		runners = experiment.Runners()
+	} else {
+		r, err := experiment.ByID(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runners = []experiment.Runner{r}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, r := range runners {
+		for _, rep := range r.Run(opts) {
+			var err error
+			if *csv {
+				fmt.Printf("# %s: %s\n", rep.ID, rep.Title)
+				err = rep.CSV(os.Stdout)
+				fmt.Println()
+			} else {
+				err = rep.Render(os.Stdout)
+			}
+			if err == nil && *outDir != "" {
+				err = writeReportFiles(*outDir, rep)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeReportFiles persists one report as <dir>/<id>.txt and .csv.
+func writeReportFiles(dir string, rep experiment.Report) error {
+	txt, err := os.Create(filepath.Join(dir, rep.ID+".txt"))
+	if err != nil {
+		return err
+	}
+	defer txt.Close()
+	if err := rep.Render(txt); err != nil {
+		return err
+	}
+	csvf, err := os.Create(filepath.Join(dir, rep.ID+".csv"))
+	if err != nil {
+		return err
+	}
+	defer csvf.Close()
+	return rep.CSV(csvf)
+}

@@ -1,0 +1,127 @@
+// Command asidisc runs a single fabric discovery simulation and prints
+// its measurements: topology, algorithm, processing factors and the
+// optional topological change are selectable.
+//
+// Usage:
+//
+//	asidisc -topo "8x8 mesh" -alg parallel
+//	asidisc -topo "4-port 3-tree" -alg serial-packet -change remove -seed 3
+//	asidisc -topo "3x3 mesh" -alg serial-device -timeline
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func parseAlg(s string) (core.Kind, error) {
+	switch strings.ToLower(s) {
+	case "serial-packet", "sp":
+		return core.SerialPacket, nil
+	case "serial-device", "sd":
+		return core.SerialDevice, nil
+	case "parallel", "p":
+		return core.Parallel, nil
+	case "partial":
+		return core.Partial, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (serial-packet, serial-device, parallel, partial)", s)
+	}
+}
+
+func parseChange(s string) (experiment.Change, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return experiment.NoChange, nil
+	case "remove":
+		return experiment.RemoveSwitch, nil
+	case "add":
+		return experiment.AddSwitch, nil
+	default:
+		return 0, fmt.Errorf("unknown change %q (none, remove, add)", s)
+	}
+}
+
+func main() {
+	topoName := flag.String("topo", "3x3 mesh", "topology name (see asitopo -list)")
+	alg := flag.String("alg", "parallel", "discovery algorithm: serial-packet, serial-device, parallel, partial")
+	change := flag.String("change", "none", "topological change: none, remove, add")
+	seed := flag.Uint64("seed", 1, "random seed (selects the changed switch)")
+	fmFactor := flag.Float64("fm-factor", 1, "FM processing speed factor")
+	devFactor := flag.Float64("dev-factor", 1, "device processing speed factor")
+	timeline := flag.Bool("timeline", false, "print the FM packet-processing timeline")
+	traceN := flag.Int("trace", 0, "record and print up to N packet-level fabric events")
+	flag.Parse()
+
+	kind, err := parseAlg(*alg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	ch, err := parseChange(*change)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if _, err := topo.ByName(*topoName); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var buf *trace.Buffer
+	spec := experiment.RunSpec{
+		Topology:     *topoName,
+		Algorithm:    kind,
+		Change:       ch,
+		Seed:         *seed,
+		FMFactor:     *fmFactor,
+		DeviceFactor: *devFactor,
+	}
+	if *traceN > 0 {
+		buf = &trace.Buffer{Max: *traceN}
+		spec.Trace = buf
+	}
+	out := experiment.Run(spec)
+	if out.Err != nil {
+		fmt.Fprintln(os.Stderr, out.Err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("topology:        %s (%d devices, %d switches)\n", *topoName, out.PhysicalNodes, out.Switches)
+	fmt.Printf("algorithm:       %v (FM factor %.2f, device factor %.2f)\n", kind, *fmFactor, *devFactor)
+	fmt.Printf("change:          %v (seed %d)\n", ch, *seed)
+	fmt.Printf("active nodes:    %d\n", out.ActiveNodes)
+	if ch != experiment.NoChange {
+		fmt.Printf("initial run:     %v\n", out.Initial)
+	}
+	fmt.Printf("measured run:    %v\n", out.Result)
+	fmt.Printf("discovery time:  %.6f s\n", out.Result.Duration.Seconds())
+	fmt.Printf("mgmt traffic:    %d pkts / %d B sent, %d pkts / %d B received\n",
+		out.Result.PacketsSent, out.Result.BytesSent,
+		out.Result.PacketsReceived, out.Result.BytesReceived)
+	fmt.Printf("avg FM proc:     %.2f us over %d packets\n",
+		out.Result.AvgFMProcessing().Microseconds(), out.Result.Processed)
+	if out.Result.TimedOut > 0 {
+		fmt.Printf("timeouts:        %d\n", out.Result.TimedOut)
+	}
+	if *timeline {
+		fmt.Println("\npacket#  processed-at (s)")
+		for _, p := range out.Result.Timeline {
+			fmt.Printf("%7d  %.9f\n", p.Index, p.At.Seconds())
+		}
+	}
+	if buf != nil {
+		fmt.Println("\nfabric trace:")
+		if err := buf.WriteText(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

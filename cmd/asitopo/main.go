@@ -1,0 +1,74 @@
+// Command asitopo inspects the fabric topologies from the paper's
+// Table 1: device counts, link counts, degree distribution and, with -v,
+// the full cabling.
+//
+// Usage:
+//
+//	asitopo -list
+//	asitopo -topo "4-port 3-tree"
+//	asitopo -topo "6x6 torus" -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asi"
+	"repro/internal/topo"
+)
+
+func main() {
+	name := flag.String("topo", "", "topology name to inspect")
+	list := flag.Bool("list", false, "list the Table 1 topologies")
+	verbose := flag.Bool("v", false, "print every link")
+	flag.Parse()
+
+	if *list || *name == "" {
+		fmt.Printf("%-16s %9s %10s %7s\n", "Topology", "Switches", "Endpoints", "Total")
+		for _, s := range topo.Table1() {
+			fmt.Printf("%-16s %9d %10d %7d\n", s.Name, s.Switches, s.Endpoints, s.Total())
+		}
+		return
+	}
+
+	tp, err := topo.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := tp.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "INVALID:", err)
+		os.Exit(1)
+	}
+	fmt.Println(tp)
+
+	// Degree distribution over switches.
+	degrees := map[int]int{}
+	for _, n := range tp.Nodes {
+		if n.Type != asi.DeviceSwitch {
+			continue
+		}
+		d := 0
+		for p := 0; p < n.Ports; p++ {
+			if _, _, ok := tp.Peer(n.ID, p); ok {
+				d++
+			}
+		}
+		degrees[d]++
+	}
+	fmt.Println("switch degree distribution:")
+	for d := 0; d <= 32; d++ {
+		if c, ok := degrees[d]; ok {
+			fmt.Printf("  degree %2d: %d switches\n", d, c)
+		}
+	}
+
+	if *verbose {
+		fmt.Println("links:")
+		for _, l := range tp.Links {
+			fmt.Printf("  %s[%d] -- %s[%d]\n",
+				tp.Nodes[l.A].Label, l.APort, tp.Nodes[l.B].Label, l.BPort)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package repro reproduces "Implementing the Advanced Switching Fabric
+// Discovery Process" (Robles-Gómez, Bermúdez, Casado, Quiles): an ASI
+// switched-fabric simulator with its management plane, the three fabric
+// discovery algorithms the paper compares (Serial Packet, Serial Device,
+// Parallel), and the experiment harness that regenerates every table and
+// figure of its evaluation.
+//
+// The root package only anchors the repository-level benchmarks in
+// bench_test.go; the implementation lives under internal/ (see DESIGN.md
+// for the system inventory) and the executables under cmd/.
+package repro

@@ -1,0 +1,297 @@
+package asi
+
+import "fmt"
+
+// The configuration space of an ASI device is a storage area of 32-bit
+// blocks organized into capability structures. The fabric manager learns
+// everything it knows about a device by PI-4 reads of this space (paper
+// section 2). This model implements the baseline capability:
+//
+//	block 0          device type | capability version | port count
+//	blocks 1-2       device serial number (DSN), high and low words
+//	block 3          maximum packet size in bytes
+//	block 4          device status (FM-capable, multicast-capable)
+//	block 5          vendor/part identification
+//	blocks 6..6+2P   two blocks per port: state/speed/width, reserved
+//	then 3 blocks    event route: the turn pool toward the FM that the
+//	                 device stamps on PI-5 packets (written by the FM)
+//
+// The first six blocks are the "general information" the discovery
+// algorithms read first; the per-port blocks are the "additional
+// attributes" read afterwards (paper section 3).
+const (
+	// GeneralInfoOffset and GeneralInfoBlocks delimit the device general
+	// information region.
+	GeneralInfoOffset uint16 = 0
+	GeneralInfoBlocks uint8  = 6
+	// portInfoBase is the first per-port block.
+	portInfoBase uint16 = 6
+	// PortInfoBlocks is the number of blocks describing one port.
+	PortInfoBlocks uint8 = 2
+	// EventRouteBlocks is the size of the writable event-route region.
+	EventRouteBlocks uint8 = 3
+	// OwnerBlocks is the size of the writable discovery-ownership
+	// region used by distributed discovery: a generation counter and
+	// the claiming FM's identity. Devices update it atomically while
+	// servicing a PI-4 claim request.
+	OwnerBlocks uint8 = 2
+	// PathTableEntryBlocks is the size of one endpoint path-table
+	// entry: destination DSN (2), turn pool (2), pointer + valid (1).
+	PathTableEntryBlocks uint8 = 5
+	// PathTableEntries is the capacity of an endpoint's path table,
+	// sized for the largest evaluated fabric (10x10 torus: 99 remote
+	// endpoints).
+	PathTableEntries = 128
+	// MFTGroups is the number of multicast groups a switch's forwarding
+	// table supports; each entry is one block holding the output-port
+	// bitmask (the model supports switches up to 32 ports, within the
+	// spec's 256-port limit).
+	MFTGroups = 16
+	// capabilityVersion identifies this layout.
+	capabilityVersion = 1
+)
+
+// Device status bits in block 4.
+const (
+	statusFMCapable = 1 << 0
+	statusMulticast = 1 << 1
+)
+
+// PortInfoOffset returns the block offset of port p's information.
+func PortInfoOffset(p int) uint16 {
+	return portInfoBase + uint16(p)*uint16(PortInfoBlocks)
+}
+
+// EventRouteOffset returns the block offset of the event-route region for
+// a device with the given port count.
+func EventRouteOffset(ports int) uint16 {
+	return PortInfoOffset(ports)
+}
+
+// OwnerOffset returns the block offset of the discovery-ownership region.
+func OwnerOffset(ports int) uint16 {
+	return EventRouteOffset(ports) + uint16(EventRouteBlocks)
+}
+
+// PathTableOffset returns the block offset of an endpoint's path table.
+// Only endpoints carry one; the FM writes it during path distribution so
+// the endpoint can source-route traffic to its peers ("path determination
+// between endpoints", paper section 2).
+func PathTableOffset(ports int) uint16 {
+	return OwnerOffset(ports) + uint16(OwnerBlocks)
+}
+
+// PathEntryOffset returns the block offset of path-table entry i.
+func PathEntryOffset(ports, i int) uint16 {
+	return PathTableOffset(ports) + uint16(i)*uint16(PathTableEntryBlocks)
+}
+
+// MFTOffset returns the block offset of a switch's multicast forwarding
+// table. Multicast packets look their group up here to find the
+// replication port mask (one block per group). Only switches carry one.
+func MFTOffset(ports int) uint16 {
+	return OwnerOffset(ports) + uint16(OwnerBlocks)
+}
+
+// MFTEntryOffset returns the block offset of group mgid's port mask.
+func MFTEntryOffset(ports int, mgid uint16) uint16 {
+	return MFTOffset(ports) + mgid
+}
+
+// EncodePathEntry packs one path-table entry.
+func EncodePathEntry(dst DSN, pool uint64, ptr uint8) []uint32 {
+	return []uint32{
+		uint32(dst >> 32), uint32(dst),
+		uint32(pool >> 32), uint32(pool),
+		uint32(ptr) | 1<<31,
+	}
+}
+
+// DecodePathEntry unpacks one path-table entry; valid is false for an
+// unwritten slot.
+func DecodePathEntry(blocks []uint32) (dst DSN, pool uint64, ptr uint8, valid bool) {
+	if len(blocks) < int(PathTableEntryBlocks) {
+		return 0, 0, 0, false
+	}
+	valid = blocks[4]&(1<<31) != 0
+	dst = DSN(uint64(blocks[0])<<32 | uint64(blocks[1]))
+	pool = uint64(blocks[2])<<32 | uint64(blocks[3])
+	ptr = uint8(blocks[4] & 0x7f)
+	return dst, pool, ptr, valid
+}
+
+// GeneralInfo is the decoded form of the first six capability blocks.
+type GeneralInfo struct {
+	Type      DeviceType
+	Version   uint8
+	Ports     int
+	DSN       DSN
+	MaxPacket int
+	FMCapable bool
+	Multicast bool
+	VendorID  uint32
+}
+
+// PortInfo is the decoded form of one port's capability blocks.
+type PortInfo struct {
+	// Active indicates a live device is attached at the other end
+	// of this port's link.
+	Active bool
+	// SpeedGbps is the negotiated link speed (2.0 for x1 after 8b/10b).
+	SpeedGbps float64
+	// Width is the negotiated lane count.
+	Width int
+}
+
+// ConfigSpace is a device's capability storage, served to PI-4 reads.
+type ConfigSpace struct {
+	blocks []uint32
+	ports  int
+}
+
+// NewConfigSpace builds the capability structure for a device.
+func NewConfigSpace(t DeviceType, dsn DSN, ports, maxPacket int, fmCapable bool) (*ConfigSpace, error) {
+	switch t {
+	case DeviceSwitch:
+		if ports < 2 || ports > MaxSwitchPorts {
+			return nil, fmt.Errorf("asi: switch port count %d out of range 2..%d", ports, MaxSwitchPorts)
+		}
+	case DeviceEndpoint:
+		if ports < 1 || ports > MaxEndpointPorts {
+			return nil, fmt.Errorf("asi: endpoint port count %d out of range 1..%d", ports, MaxEndpointPorts)
+		}
+	default:
+		return nil, fmt.Errorf("asi: unknown device type %v", t)
+	}
+	n := int(OwnerOffset(ports)) + int(OwnerBlocks)
+	switch t {
+	case DeviceEndpoint:
+		n += PathTableEntries * int(PathTableEntryBlocks)
+	case DeviceSwitch:
+		n += MFTGroups
+	}
+	c := &ConfigSpace{blocks: make([]uint32, n), ports: ports}
+	c.blocks[0] = uint32(t)<<24 | capabilityVersion<<16 | uint32(ports)&0xffff
+	c.blocks[1] = uint32(dsn >> 32)
+	c.blocks[2] = uint32(dsn)
+	c.blocks[3] = uint32(maxPacket)
+	if fmCapable {
+		c.blocks[4] |= statusFMCapable
+	}
+	if t == DeviceSwitch {
+		c.blocks[4] |= statusMulticast
+	}
+	c.blocks[5] = 0x1A51_0001 // vendor/part id of the model
+	return c, nil
+}
+
+// Ports returns the device's port count.
+func (c *ConfigSpace) Ports() int { return c.ports }
+
+// NumBlocks returns the total capability size in 32-bit blocks.
+func (c *ConfigSpace) NumBlocks() int { return len(c.blocks) }
+
+// Read returns count blocks starting at offset, as a PI-4 read would. It
+// fails for out-of-range accesses or reads wider than MaxReadBlocks; the
+// device then answers with a read completion with error.
+func (c *ConfigSpace) Read(offset uint16, count uint8) ([]uint32, error) {
+	if count == 0 || count > MaxReadBlocks {
+		return nil, fmt.Errorf("asi: read count %d out of range 1..%d", count, MaxReadBlocks)
+	}
+	end := int(offset) + int(count)
+	if end > len(c.blocks) {
+		return nil, fmt.Errorf("asi: read [%d,%d) beyond capability end %d", offset, end, len(c.blocks))
+	}
+	out := make([]uint32, count)
+	copy(out, c.blocks[offset:end])
+	return out, nil
+}
+
+// Write stores data at offset. Only the event-route region is writable;
+// everything else is device-owned and a write there fails, producing a
+// write completion with error.
+func (c *ConfigSpace) Write(offset uint16, data []uint32) error {
+	if len(data) == 0 || len(data) > MaxReadBlocks {
+		return fmt.Errorf("asi: write of %d blocks out of range 1..%d", len(data), MaxReadBlocks)
+	}
+	lo := int(EventRouteOffset(c.ports))
+	end := int(offset) + len(data)
+	if int(offset) < lo || end > len(c.blocks) {
+		return fmt.Errorf("asi: write [%d,%d) outside writable region [%d,%d)", offset, end, lo, len(c.blocks))
+	}
+	copy(c.blocks[offset:], data)
+	return nil
+}
+
+// SetPortState updates a port's capability blocks; the device model calls
+// this when a link trains or drops.
+func (c *ConfigSpace) SetPortState(port int, info PortInfo) error {
+	if port < 0 || port >= c.ports {
+		return fmt.Errorf("asi: port %d out of range 0..%d", port, c.ports-1)
+	}
+	var w uint32
+	if info.Active {
+		w |= 1
+	}
+	w |= (uint32(info.SpeedGbps*10) & 0xff) << 8
+	w |= (uint32(info.Width) & 0xf) << 4
+	c.blocks[PortInfoOffset(port)] = w
+	return nil
+}
+
+// ParseGeneralInfo decodes the general-information region as returned by a
+// PI-4 read of GeneralInfoBlocks blocks at GeneralInfoOffset.
+func ParseGeneralInfo(blocks []uint32) (GeneralInfo, error) {
+	var g GeneralInfo
+	if len(blocks) < int(GeneralInfoBlocks) {
+		return g, fmt.Errorf("asi: general info needs %d blocks, got %d", GeneralInfoBlocks, len(blocks))
+	}
+	g.Type = DeviceType(blocks[0] >> 24)
+	g.Version = uint8(blocks[0] >> 16)
+	g.Ports = int(blocks[0] & 0xffff)
+	g.DSN = DSN(uint64(blocks[1])<<32 | uint64(blocks[2]))
+	g.MaxPacket = int(blocks[3])
+	g.FMCapable = blocks[4]&statusFMCapable != 0
+	g.Multicast = blocks[4]&statusMulticast != 0
+	g.VendorID = blocks[5]
+	if g.Type != DeviceSwitch && g.Type != DeviceEndpoint {
+		return g, fmt.Errorf("asi: general info has invalid device type %d", g.Type)
+	}
+	if g.Version != capabilityVersion {
+		return g, fmt.Errorf("asi: unsupported capability version %d", g.Version)
+	}
+	return g, nil
+}
+
+// ParsePortInfo decodes one port's blocks as returned by a PI-4 read of
+// PortInfoBlocks blocks at PortInfoOffset(port).
+func ParsePortInfo(blocks []uint32) (PortInfo, error) {
+	var p PortInfo
+	if len(blocks) < int(PortInfoBlocks) {
+		return p, fmt.Errorf("asi: port info needs %d blocks, got %d", PortInfoBlocks, len(blocks))
+	}
+	w := blocks[0]
+	p.Active = w&1 != 0
+	p.SpeedGbps = float64((w>>8)&0xff) / 10
+	p.Width = int((w >> 4) & 0xf)
+	return p, nil
+}
+
+// EncodeEventRoute packs a turn pool and pointer into the writable
+// event-route blocks. The FM writes this during path distribution so that
+// devices can source PI-5 packets toward it.
+func EncodeEventRoute(pool uint64, ptr uint8) []uint32 {
+	return []uint32{uint32(pool >> 32), uint32(pool), uint32(ptr) | 1<<31}
+}
+
+// DecodeEventRoute unpacks the event-route blocks. valid is false until
+// the FM has programmed the route.
+func DecodeEventRoute(blocks []uint32) (pool uint64, ptr uint8, valid bool) {
+	if len(blocks) < int(EventRouteBlocks) {
+		return 0, 0, false
+	}
+	valid = blocks[2]&(1<<31) != 0
+	pool = uint64(blocks[0])<<32 | uint64(blocks[1])
+	ptr = uint8(blocks[2] & 0x7f)
+	return pool, ptr, valid
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asi"
+	"repro/internal/route"
+)
+
+// Node is one discovered device in the FM's topology database.
+type Node struct {
+	DSN  asi.DSN
+	Type asi.DeviceType
+	// Ports is the device's port count from its general information.
+	Ports int
+	// Path is the source route from the FM's endpoint to this device.
+	Path route.Path
+	// ArrivalPort is the device port on which FM requests arrive along
+	// Path — the far end of the link the FM crossed to reach it.
+	ArrivalPort int
+	// PortKnown and PortActive record per-port attribute reads.
+	PortKnown  []bool
+	PortActive []bool
+	// General keeps the raw decoded general information.
+	General asi.GeneralInfo
+}
+
+// PortsRead reports whether every port's attributes have been read.
+func (n *Node) PortsRead() bool {
+	for _, k := range n.PortKnown {
+		if !k {
+			return false
+		}
+	}
+	return true
+}
+
+// Link records a discovered cable between two device ports.
+type Link struct {
+	A     asi.DSN
+	APort int
+	B     asi.DSN
+	BPort int
+}
+
+// normalize orders the endpoints so a link has one canonical key.
+func (l Link) normalize() Link {
+	if l.B < l.A || (l.B == l.A && l.BPort < l.APort) {
+		return Link{A: l.B, APort: l.BPort, B: l.A, BPort: l.APort}
+	}
+	return l
+}
+
+// DB is the fabric manager's topology database, rebuilt from scratch on
+// every (full) discovery, as the paper assumes: "the FM obtains the
+// complete fabric topology, discarding all the previously collected
+// information".
+type DB struct {
+	// HostDSN is the endpoint hosting the FM.
+	HostDSN asi.DSN
+	nodes   map[asi.DSN]*Node
+	links   map[Link]bool
+}
+
+// NewDB returns an empty database for an FM hosted on the given endpoint.
+func NewDB(host asi.DSN) *DB {
+	return &DB{HostDSN: host, nodes: make(map[asi.DSN]*Node), links: make(map[Link]bool)}
+}
+
+// Node returns the database entry for a DSN, or nil.
+func (db *DB) Node(dsn asi.DSN) *Node { return db.nodes[dsn] }
+
+// NumNodes returns the number of discovered devices (including the host).
+func (db *DB) NumNodes() int { return len(db.nodes) }
+
+// NumSwitches counts discovered switches.
+func (db *DB) NumSwitches() int {
+	c := 0
+	for _, n := range db.nodes {
+		if n.Type == asi.DeviceSwitch {
+			c++
+		}
+	}
+	return c
+}
+
+// NumLinks returns the number of discovered links.
+func (db *DB) NumLinks() int { return len(db.links) }
+
+// Nodes returns all entries sorted by DSN for deterministic iteration.
+func (db *DB) Nodes() []*Node {
+	out := make([]*Node, 0, len(db.nodes))
+	for _, n := range db.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DSN < out[j].DSN })
+	return out
+}
+
+// Links returns all discovered links sorted canonically.
+func (db *DB) Links() []Link {
+	out := make([]Link, 0, len(db.links))
+	for l := range db.links {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.A != b.A {
+			return a.A < b.A
+		}
+		if a.APort != b.APort {
+			return a.APort < b.APort
+		}
+		if a.B != b.B {
+			return a.B < b.B
+		}
+		return a.BPort < b.BPort
+	})
+	return out
+}
+
+// AddNode inserts a newly discovered device. It reports whether the device
+// was new; a device reached through an alternate path keeps its original
+// entry (and path).
+func (db *DB) AddNode(n *Node) bool {
+	if _, ok := db.nodes[n.DSN]; ok {
+		return false
+	}
+	db.nodes[n.DSN] = n
+	return true
+}
+
+// RemoveNode deletes a device and all links touching it (used by partial
+// rediscovery when pruning an unreachable region).
+func (db *DB) RemoveNode(dsn asi.DSN) {
+	delete(db.nodes, dsn)
+	for l := range db.links {
+		if l.A == dsn || l.B == dsn {
+			delete(db.links, l)
+		}
+	}
+}
+
+// AddLink records a link; duplicates (the same cable crossed from either
+// side) collapse onto one entry.
+func (db *DB) AddLink(l Link) {
+	db.links[l.normalize()] = true
+}
+
+// RemoveLink deletes a link.
+func (db *DB) RemoveLink(l Link) {
+	delete(db.links, l.normalize())
+}
+
+// HasLink reports whether a link is recorded, in either orientation.
+func (db *DB) HasLink(l Link) bool { return db.links[l.normalize()] }
+
+// LinkAt returns the link attached to a device port, if recorded.
+func (db *DB) LinkAt(dsn asi.DSN, port int) (Link, bool) {
+	for l := range db.links {
+		if (l.A == dsn && l.APort == port) || (l.B == dsn && l.BPort == port) {
+			return l, true
+		}
+	}
+	return Link{}, false
+}
+
+// Neighbors returns the (dsn, port, remotePort) triples adjacent to a
+// device, sorted for determinism.
+type Neighbor struct {
+	DSN        asi.DSN
+	LocalPort  int
+	RemotePort int
+}
+
+// NeighborsOf lists the recorded neighbours of a device.
+func (db *DB) NeighborsOf(dsn asi.DSN) []Neighbor {
+	var out []Neighbor
+	for l := range db.links {
+		switch dsn {
+		case l.A:
+			out = append(out, Neighbor{DSN: l.B, LocalPort: l.APort, RemotePort: l.BPort})
+		case l.B:
+			out = append(out, Neighbor{DSN: l.A, LocalPort: l.BPort, RemotePort: l.APort})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].LocalPort != out[j].LocalPort {
+			return out[i].LocalPort < out[j].LocalPort
+		}
+		return out[i].DSN < out[j].DSN
+	})
+	return out
+}
+
+// ReachableFromHost walks the recorded links from the host endpoint and
+// returns the set of reachable DSNs.
+func (db *DB) ReachableFromHost() map[asi.DSN]bool {
+	seen := map[asi.DSN]bool{}
+	if _, ok := db.nodes[db.HostDSN]; !ok {
+		return seen
+	}
+	seen[db.HostDSN] = true
+	queue := []asi.DSN{db.HostDSN}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range db.NeighborsOf(cur) {
+			if _, known := db.nodes[nb.DSN]; !known || seen[nb.DSN] {
+				continue
+			}
+			seen[nb.DSN] = true
+			queue = append(queue, nb.DSN)
+		}
+	}
+	return seen
+}
+
+// PathTo computes a shortest source route from the host endpoint to the
+// target over the recorded links, breadth-first, and the target's arrival
+// port along it. It returns a nil path when the target is not reachable
+// in the database. The first hop leaves the host endpoint; every switch
+// traversal contributes one hop, the target itself none.
+func (db *DB) PathTo(target asi.DSN) (route.Path, int) {
+	return db.pathFrom(db.HostDSN, target)
+}
+
+// PathBetween computes a shortest source route from one discovered device
+// to another over the recorded links. Only endpoints and switches known
+// to the database are usable; nil means unreachable.
+func (db *DB) PathBetween(src, dst asi.DSN) route.Path {
+	p, _ := db.pathFrom(src, dst)
+	return p
+}
+
+// pred records how BFS reached a node.
+type pred struct {
+	from       asi.DSN
+	fromPort   int
+	arrivePort int
+}
+
+// bfsFrom explores the database graph from src (only src and switches
+// forward) and returns the predecessor map.
+func (db *DB) bfsFrom(src asi.DSN) map[asi.DSN]pred {
+	prev := map[asi.DSN]pred{}
+	if _, ok := db.nodes[src]; !ok {
+		return prev
+	}
+	seen := map[asi.DSN]bool{src: true}
+	queue := []asi.DSN{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur != src && db.nodes[cur].Type != asi.DeviceSwitch {
+			continue
+		}
+		for _, nb := range db.NeighborsOf(cur) {
+			if _, known := db.nodes[nb.DSN]; !known || seen[nb.DSN] {
+				continue
+			}
+			seen[nb.DSN] = true
+			prev[nb.DSN] = pred{from: cur, fromPort: nb.LocalPort, arrivePort: nb.RemotePort}
+			queue = append(queue, nb.DSN)
+		}
+	}
+	return prev
+}
+
+// ChainLink is one cable traversal on a database path.
+type ChainLink struct {
+	From     asi.DSN
+	FromPort int
+	To       asi.DSN
+	ToPort   int
+}
+
+// Chain returns the cable-level walk of a shortest path from src to dst
+// over the database graph, or nil if unreachable. Multicast tree
+// construction uses it to mark the ports a group spans.
+func (db *DB) Chain(src, dst asi.DSN) []ChainLink {
+	if src == dst {
+		return []ChainLink{}
+	}
+	prev := db.bfsFrom(src)
+	if _, ok := prev[dst]; !ok {
+		return nil
+	}
+	var out []ChainLink
+	at := dst
+	for at != src {
+		p := prev[at]
+		out = append(out, ChainLink{From: p.from, FromPort: p.fromPort, To: at, ToPort: p.arrivePort})
+		at = p.from
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func (db *DB) pathFrom(src, target asi.DSN) (route.Path, int) {
+	if _, ok := db.nodes[src]; !ok {
+		return nil, 0
+	}
+	if target == src {
+		return route.Path{}, 0
+	}
+	prev := db.bfsFrom(src)
+	if _, ok := prev[target]; !ok {
+		return nil, 0
+	}
+	// hops must be non-nil even for adjacent targets: nil is the
+	// unreachable sentinel, a zero-hop path is a valid route.
+	hops := route.Path{}
+	at := target
+	for at != src {
+		p := prev[at]
+		if p.from != src {
+			n := db.nodes[p.from]
+			hops = append(hops, route.Hop{Ports: n.Ports, In: prev[p.from].arrivePort, Out: p.fromPort})
+		}
+		at = p.from
+	}
+	for i, j := 0, len(hops)-1; i < j; i, j = i+1, j-1 {
+		hops[i], hops[j] = hops[j], hops[i]
+	}
+	return hops, prev[target].arrivePort
+}
+
+// String summarizes the database.
+func (db *DB) String() string {
+	return fmt.Sprintf("db{%d devices (%d switches), %d links}",
+		db.NumNodes(), db.NumSwitches(), db.NumLinks())
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asi"
+)
+
+// Diff summarizes what changed between two topology databases — the
+// assimilation report an operator (or the path-distribution stage) reads
+// after a change-triggered rediscovery.
+type Diff struct {
+	AddedDevices   []asi.DSN
+	RemovedDevices []asi.DSN
+	AddedLinks     []Link
+	RemovedLinks   []Link
+}
+
+// Empty reports whether nothing changed.
+func (d Diff) Empty() bool {
+	return len(d.AddedDevices) == 0 && len(d.RemovedDevices) == 0 &&
+		len(d.AddedLinks) == 0 && len(d.RemovedLinks) == 0
+}
+
+// String renders a compact human-readable summary.
+func (d Diff) String() string {
+	if d.Empty() {
+		return "no change"
+	}
+	var parts []string
+	if n := len(d.AddedDevices); n > 0 {
+		parts = append(parts, fmt.Sprintf("+%d devices", n))
+	}
+	if n := len(d.RemovedDevices); n > 0 {
+		parts = append(parts, fmt.Sprintf("-%d devices", n))
+	}
+	if n := len(d.AddedLinks); n > 0 {
+		parts = append(parts, fmt.Sprintf("+%d links", n))
+	}
+	if n := len(d.RemovedLinks); n > 0 {
+		parts = append(parts, fmt.Sprintf("-%d links", n))
+	}
+	return strings.Join(parts, ", ")
+}
+
+// DiffDBs compares two databases. Devices compare by DSN, links by their
+// normalized form; old or new may be nil (treated as empty).
+func DiffDBs(old, new *DB) Diff {
+	var d Diff
+	oldHas := func(dsn asi.DSN) bool { return old != nil && old.Node(dsn) != nil }
+	newHas := func(dsn asi.DSN) bool { return new != nil && new.Node(dsn) != nil }
+	if new != nil {
+		for _, n := range new.Nodes() {
+			if !oldHas(n.DSN) {
+				d.AddedDevices = append(d.AddedDevices, n.DSN)
+			}
+		}
+		for _, l := range new.Links() {
+			if old == nil || !old.HasLink(l) {
+				d.AddedLinks = append(d.AddedLinks, l)
+			}
+		}
+	}
+	if old != nil {
+		for _, n := range old.Nodes() {
+			if !newHas(n.DSN) {
+				d.RemovedDevices = append(d.RemovedDevices, n.DSN)
+			}
+		}
+		for _, l := range old.Links() {
+			if new == nil || !new.HasLink(l) {
+				d.RemovedLinks = append(d.RemovedLinks, l)
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asi"
+	"repro/internal/topo"
+)
+
+func TestDiffDBsBasics(t *testing.T) {
+	old := buildTestDB()
+	new := buildTestDB()
+	d := DiffDBs(old, new)
+	if !d.Empty() || d.String() != "no change" {
+		t.Errorf("identical DBs diff: %v", d)
+	}
+	new.RemoveNode(11) // drops switch B and its 3 links
+	d = DiffDBs(old, new)
+	if len(d.RemovedDevices) != 1 || d.RemovedDevices[0] != 11 {
+		t.Errorf("removed devices: %v", d.RemovedDevices)
+	}
+	if len(d.RemovedLinks) != 3 {
+		t.Errorf("removed links: %v", d.RemovedLinks)
+	}
+	if len(d.AddedDevices) != 0 || len(d.AddedLinks) != 0 {
+		t.Errorf("spurious additions: %v", d)
+	}
+	if !strings.Contains(d.String(), "-1 devices") || !strings.Contains(d.String(), "-3 links") {
+		t.Errorf("summary: %q", d.String())
+	}
+	// Reverse direction.
+	d = DiffDBs(new, old)
+	if len(d.AddedDevices) != 1 || len(d.AddedLinks) != 3 {
+		t.Errorf("reverse diff: %v", d)
+	}
+}
+
+func TestDiffDBsNilSafe(t *testing.T) {
+	db := buildTestDB()
+	d := DiffDBs(nil, db)
+	if len(d.AddedDevices) != 4 || len(d.AddedLinks) != 4 {
+		t.Errorf("nil-old diff: %v", d)
+	}
+	d = DiffDBs(db, nil)
+	if len(d.RemovedDevices) != 4 || len(d.RemovedLinks) != 4 {
+		t.Errorf("nil-new diff: %v", d)
+	}
+	if !DiffDBs(nil, nil).Empty() {
+		t.Error("nil-nil diff not empty")
+	}
+}
+
+func TestAssimilationReportsExactChange(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	e, f, m := setup(t, tp, Parallel)
+	first := runDiscovery(t, e, m)
+	if first.Changes != nil {
+		t.Error("first discovery carries a change report")
+	}
+	m.DistributeEventRoutes(nil)
+	e.Run()
+
+	var res *Result
+	m.OnDiscoveryComplete = func(r Result) { res = &r }
+	if err := f.SetDeviceDown(8, false); err != nil { // corner sw(2,2)
+		t.Fatal(err)
+	}
+	e.Run()
+	if res == nil || res.Changes == nil {
+		t.Fatal("assimilation produced no change report")
+	}
+	d := *res.Changes
+	// Corner removal strands the switch and its endpoint; 3 links die
+	// (2 mesh links + host link).
+	if len(d.RemovedDevices) != 2 {
+		t.Errorf("removed devices: %v", d.RemovedDevices)
+	}
+	if len(d.RemovedLinks) != 3 {
+		t.Errorf("removed links: %v", d.RemovedLinks)
+	}
+	if len(d.AddedDevices) != 0 || len(d.AddedLinks) != 0 {
+		t.Errorf("spurious additions: %+v", d)
+	}
+	sw := f.Device(8).DSN
+	found := false
+	for _, dsn := range d.RemovedDevices {
+		if dsn == sw {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("removed switch not named in the report")
+	}
+
+	// Restore: the next report shows exactly the additions.
+	res = nil
+	if err := f.SetDeviceUp(8, false); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if res == nil || res.Changes == nil {
+		t.Fatal("re-addition produced no change report")
+	}
+	if len(res.Changes.AddedDevices) != 2 || len(res.Changes.AddedLinks) != 3 {
+		t.Errorf("addition report: %+v", *res.Changes)
+	}
+	if len(res.Changes.RemovedDevices) != 0 {
+		t.Errorf("spurious removals: %v", res.Changes.RemovedDevices)
+	}
+	_ = asi.DSN(0)
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/asi"
+	"repro/internal/sim"
+)
+
+// FM election. After the fabric powers up, a distributed process selects
+// the primary and secondary fabric managers; only those two endpoints may
+// configure the fabric, and the secondary takes over if the primary fails
+// (paper section 2). The protocol here is flooding-based: every candidate
+// announces (priority, DSN) fabric-wide; after a quiet period with no new
+// information each candidate independently ranks the announcements it has
+// seen. The highest (priority, DSN) pair is primary, the runner-up
+// secondary — consistent across candidates once the floods complete.
+
+// Role is the outcome of an election for one candidate.
+type Role int
+
+const (
+	// RoleNone: not elected.
+	RoleNone Role = iota
+	// RoleSecondary: standby manager, takes over on primary failure.
+	RoleSecondary
+	// RolePrimary: the acting fabric manager.
+	RolePrimary
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RolePrimary:
+		return "primary"
+	case RoleSecondary:
+		return "secondary"
+	default:
+		return "none"
+	}
+}
+
+// ElectionOutcome reports the fabric-wide result as computed by one
+// candidate.
+type ElectionOutcome struct {
+	Role      Role
+	Primary   asi.DSN
+	Secondary asi.DSN // zero when there is a single candidate
+	// Candidates is the number of announcements seen (including self).
+	Candidates int
+	// DecidedAt is when the quiet period expired.
+	DecidedAt sim.Time
+}
+
+// Elector runs the election protocol for one FM-capable endpoint.
+type Elector struct {
+	m        *Manager
+	priority uint8
+	quiet    sim.Duration
+	ttl      uint8
+
+	seen     map[asi.DSN]uint8
+	timer    sim.EventID
+	armed    bool
+	decided  bool
+	onResult func(ElectionOutcome)
+}
+
+// StartElection begins participating in FM election with the manager's
+// configured priority. onResult fires once, when this candidate's quiet
+// period expires. quiet <= 0 selects a default sized for the paper's
+// topologies.
+func (m *Manager) StartElection(quiet sim.Duration, onResult func(ElectionOutcome)) *Elector {
+	if quiet <= 0 {
+		quiet = 300 * sim.Microsecond
+	}
+	el := &Elector{
+		m:        m,
+		priority: m.opt.ElectionPriority,
+		quiet:    quiet,
+		ttl:      64,
+		seen:     map[asi.DSN]uint8{m.dev.DSN: m.opt.ElectionPriority},
+		onResult: onResult,
+	}
+	m.elect = el
+	for _, an := range m.preElection {
+		el.handle(an)
+	}
+	m.preElection = nil
+	el.announce()
+	el.rearm()
+	return el
+}
+
+// announce floods this candidate's claim.
+func (el *Elector) announce() {
+	pkt := &asi.Packet{
+		Header: asi.RouteHeader{PI: asi.PIElection, TC: asi.TCManagement},
+		Payload: asi.Election{
+			Priority:  el.priority,
+			Candidate: el.m.dev.DSN,
+			TTL:       el.ttl,
+			Sequence:  1,
+		},
+	}
+	el.m.dev.Inject(pkt)
+}
+
+// handle processes a received announcement.
+func (el *Elector) handle(an asi.Election) {
+	if el.decided {
+		return
+	}
+	if prio, ok := el.seen[an.Candidate]; ok && prio >= an.Priority {
+		return // nothing new
+	}
+	el.seen[an.Candidate] = an.Priority
+	el.rearm()
+}
+
+// rearm restarts the quiet timer.
+func (el *Elector) rearm() {
+	if el.armed {
+		el.m.e.Cancel(el.timer)
+	}
+	el.armed = true
+	el.timer = el.m.e.After(el.quiet, func(*sim.Engine) {
+		el.armed = false
+		el.decide()
+	})
+}
+
+// decide ranks the candidates and reports the outcome.
+func (el *Elector) decide() {
+	if el.decided {
+		return
+	}
+	el.decided = true
+	type cand struct {
+		dsn  asi.DSN
+		prio uint8
+	}
+	cands := make([]cand, 0, len(el.seen))
+	for dsn, prio := range el.seen {
+		cands = append(cands, cand{dsn, prio})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].prio != cands[j].prio {
+			return cands[i].prio > cands[j].prio
+		}
+		return cands[i].dsn > cands[j].dsn
+	})
+	out := ElectionOutcome{
+		Primary:    cands[0].dsn,
+		Candidates: len(cands),
+		DecidedAt:  el.m.e.Now(),
+	}
+	if len(cands) > 1 {
+		out.Secondary = cands[1].dsn
+	}
+	switch el.m.dev.DSN {
+	case out.Primary:
+		out.Role = RolePrimary
+	case out.Secondary:
+		out.Role = RoleSecondary
+	default:
+		out.Role = RoleNone
+	}
+	if el.onResult != nil {
+		el.onResult(out)
+	}
+}

@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// electionSetup attaches managers with the given priorities to the first
+// len(prios) endpoints and runs the election to completion.
+func electionSetup(t *testing.T, tp *topo.Topology, prios []uint8) []ElectionOutcome {
+	t.Helper()
+	e := sim.NewEngine()
+	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := tp.Endpoints()
+	if len(prios) > len(eps) {
+		t.Fatal("more priorities than endpoints")
+	}
+	outcomes := make([]ElectionOutcome, len(prios))
+	decided := make([]bool, len(prios))
+	for i, prio := range prios {
+		m := NewManager(f, f.Device(eps[i]), Options{Algorithm: Parallel, ElectionPriority: prio})
+		i := i
+		// Stagger starts slightly, as independent power-ups would.
+		e.After(sim.Duration(i)*10*sim.Microsecond, func(*sim.Engine) {
+			m.StartElection(0, func(o ElectionOutcome) {
+				outcomes[i] = o
+				decided[i] = true
+			})
+		})
+	}
+	e.Run()
+	for i, d := range decided {
+		if !d {
+			t.Fatalf("candidate %d never decided", i)
+		}
+	}
+	return outcomes
+}
+
+func TestElectionPicksHighestPriority(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	outs := electionSetup(t, tp, []uint8{1, 9, 5})
+	// Candidate 1 (priority 9) must be primary, candidate 2 secondary.
+	if outs[1].Role != RolePrimary {
+		t.Errorf("high-priority candidate got role %v", outs[1].Role)
+	}
+	if outs[2].Role != RoleSecondary {
+		t.Errorf("mid-priority candidate got role %v", outs[2].Role)
+	}
+	if outs[0].Role != RoleNone {
+		t.Errorf("low-priority candidate got role %v", outs[0].Role)
+	}
+}
+
+func TestElectionOutcomeConsistentAcrossCandidates(t *testing.T) {
+	outs := electionSetup(t, topo.Torus(4, 4), []uint8{3, 3, 3, 7})
+	for i := 1; i < len(outs); i++ {
+		if outs[i].Primary != outs[0].Primary || outs[i].Secondary != outs[0].Secondary {
+			t.Errorf("candidate %d disagrees: %+v vs %+v", i, outs[i], outs[0])
+		}
+	}
+	if outs[0].Candidates != 4 {
+		t.Errorf("saw %d candidates, want 4", outs[0].Candidates)
+	}
+	// Equal priorities: the tie breaks on DSN, still exactly one primary.
+	primaries := 0
+	for _, o := range outs {
+		if o.Role == RolePrimary {
+			primaries++
+		}
+	}
+	if primaries != 1 {
+		t.Errorf("%d primaries elected", primaries)
+	}
+}
+
+func TestSingleCandidateBecomesPrimary(t *testing.T) {
+	outs := electionSetup(t, topo.Mesh(3, 3), []uint8{4})
+	if outs[0].Role != RolePrimary || outs[0].Candidates != 1 {
+		t.Errorf("lone candidate outcome: %+v", outs[0])
+	}
+	if outs[0].Secondary != 0 {
+		t.Errorf("lone candidate has secondary %v", outs[0].Secondary)
+	}
+}
+
+func TestElectionThenDiscovery(t *testing.T) {
+	// The full startup sequence of the paper's section 2: power up,
+	// elect, primary discovers the fabric.
+	tp := topo.Mesh(3, 3)
+	e := sim.NewEngine()
+	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := tp.Endpoints()
+	var winner *Manager
+	var discovered *Result
+	for i, prio := range []uint8{2, 8} {
+		m := NewManager(f, f.Device(eps[i]), Options{Algorithm: Parallel, ElectionPriority: prio})
+		m.OnDiscoveryComplete = func(r Result) { discovered = &r }
+		mm := m
+		m.StartElection(0, func(o ElectionOutcome) {
+			if o.Role == RolePrimary {
+				winner = mm
+				mm.StartDiscovery()
+			}
+		})
+	}
+	e.Run()
+	if winner == nil {
+		t.Fatal("no primary elected")
+	}
+	if discovered == nil || discovered.Devices != 18 {
+		t.Fatalf("primary discovery incomplete: %+v", discovered)
+	}
+	if winner.Options().ElectionPriority != 8 {
+		t.Error("wrong candidate won")
+	}
+}
+
+func TestRoleStrings(t *testing.T) {
+	if RolePrimary.String() != "primary" || RoleSecondary.String() != "secondary" || RoleNone.String() != "none" {
+		t.Error("role strings wrong")
+	}
+}

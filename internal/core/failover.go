@@ -1,0 +1,166 @@
+package core
+
+import (
+	"repro/internal/asi"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// Fabric management failover (paper section 2): "If the primary FM fails,
+// the secondary one takes over." The primary streams heartbeat packets to
+// the secondary along a source route from its topology database; the
+// secondary arms a watchdog and, after a configurable number of missed
+// beats, promotes itself — rediscovering the fabric and reprogramming the
+// event routes so devices report to it from then on.
+
+// Heartbeater is the primary-side beacon generator.
+type Heartbeater struct {
+	m        *Manager
+	peer     asi.DSN
+	interval sim.Duration
+	seq      uint32
+	stopped  bool
+	// lastPath caches the most recent resolvable route: during a
+	// rediscovery the database is partial, and dropping beats for its
+	// whole duration would trip the secondary's watchdog spuriously.
+	lastPath route.Path
+	// Sent counts transmitted beacons.
+	Sent uint64
+}
+
+// StartHeartbeats begins streaming liveness beacons to the secondary FM.
+// The path to the peer is resolved from the topology database on every
+// beat, so heartbeats survive reroutes as long as the peer stays
+// reachable. interval <= 0 selects 500us.
+func (m *Manager) StartHeartbeats(peer asi.DSN, interval sim.Duration) *Heartbeater {
+	if interval <= 0 {
+		interval = 500 * sim.Microsecond
+	}
+	h := &Heartbeater{m: m, peer: peer, interval: interval}
+	m.beats = h
+	h.tick()
+	return h
+}
+
+// Stop ends the beacon stream.
+func (h *Heartbeater) Stop() { h.stopped = true }
+
+func (h *Heartbeater) tick() {
+	// A dead endpoint's management software is gone with it; the beacon
+	// stream must not keep the event queue alive either.
+	if h.stopped || !h.m.dev.Alive() {
+		return
+	}
+	h.send()
+	h.m.e.After(h.interval, func(*sim.Engine) { h.tick() })
+}
+
+func (h *Heartbeater) send() {
+	path := h.m.db.PathBetween(h.m.dev.DSN, h.peer)
+	if path == nil {
+		path = h.lastPath
+	} else {
+		h.lastPath = path
+	}
+	if path == nil {
+		return // peer never reachable yet; keep trying
+	}
+	hdr, err := route.Header(path, asi.PIHeartbeat)
+	if err != nil {
+		return
+	}
+	h.seq++
+	h.Sent++
+	h.m.dev.Inject(&asi.Packet{Header: hdr, Payload: asi.Heartbeat{From: h.m.dev.DSN, Seq: h.seq}})
+}
+
+// Watchdog is the secondary-side failure detector.
+type Watchdog struct {
+	m       *Manager
+	window  sim.Duration
+	timer   sim.EventID
+	armed   bool
+	fired   bool
+	stopped bool
+	// Received counts beacons observed.
+	Received uint64
+	// OnTakeover runs when the watchdog declares the primary dead,
+	// before the automatic rediscovery starts.
+	OnTakeover func()
+}
+
+// WatchPrimary arms the secondary's failure detector: if no heartbeat
+// arrives for misses*interval, the secondary takes over — it runs a
+// discovery and redistributes event routes so the fabric reports to it.
+// interval <= 0 selects 500us; misses <= 0 selects 3.
+func (m *Manager) WatchPrimary(interval sim.Duration, misses int, onTakeover func()) *Watchdog {
+	if interval <= 0 {
+		interval = 500 * sim.Microsecond
+	}
+	if misses <= 0 {
+		misses = 3
+	}
+	w := &Watchdog{
+		m:          m,
+		window:     interval * sim.Duration(misses),
+		OnTakeover: onTakeover,
+	}
+	m.watchdog = w
+	w.rearm()
+	return w
+}
+
+// Stop disarms the watchdog (e.g. on an orderly primary shutdown).
+func (w *Watchdog) Stop() {
+	w.stopped = true
+	if w.armed {
+		w.m.e.Cancel(w.timer)
+		w.armed = false
+	}
+}
+
+// TookOver reports whether the watchdog has promoted its manager.
+func (w *Watchdog) TookOver() bool { return w.fired }
+
+// feed resets the failure window; called for every received heartbeat.
+func (w *Watchdog) feed() {
+	if w.stopped || w.fired {
+		return
+	}
+	w.Received++
+	w.rearm()
+}
+
+func (w *Watchdog) rearm() {
+	if w.armed {
+		w.m.e.Cancel(w.timer)
+	}
+	w.armed = true
+	w.timer = w.m.e.After(w.window, func(*sim.Engine) {
+		w.armed = false
+		w.takeover()
+	})
+}
+
+// takeover promotes the secondary: it assumes the primary role,
+// rediscovers the fabric, and reprograms every device's event route
+// toward itself.
+func (w *Watchdog) takeover() {
+	if w.stopped || w.fired || !w.m.dev.Alive() {
+		return
+	}
+	w.fired = true
+	if w.OnTakeover != nil {
+		w.OnTakeover()
+	}
+	m := w.m
+	prev := m.OnDiscoveryComplete
+	m.OnDiscoveryComplete = func(r Result) {
+		m.OnDiscoveryComplete = prev
+		m.DistributeEventRoutes(nil)
+		if prev != nil {
+			prev(r)
+		}
+	}
+	m.StartDiscovery()
+}

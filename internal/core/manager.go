@@ -1,0 +1,703 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/asi"
+	"repro/internal/fabric"
+	"repro/internal/route"
+	"repro/internal/sim"
+)
+
+// Options configures a fabric manager.
+type Options struct {
+	// Algorithm selects the discovery implementation.
+	Algorithm Kind
+	// FMFactor is the FM processing-speed multiplier (paper Figs. 8-9);
+	// processing time = model time / factor. Zero means 1.
+	FMFactor float64
+	// Cost is the FM processing-time model; zero value means defaults.
+	Cost *CostModel
+	// RequestTimeout expires outstanding PI-4 requests; a timed-out
+	// probe is treated like a completion with error.
+	RequestTimeout sim.Duration
+	// VerifyTimeout expires partial-rediscovery validation reads. It is
+	// shorter than RequestTimeout because a verify targets a device the
+	// FM suspects may be gone; waiting the full window would make
+	// localized assimilation slower than a full rediscovery.
+	VerifyTimeout sim.Duration
+	// CoalesceDelay batches a burst of PI-5 reports for the same change
+	// into one discovery run.
+	CoalesceDelay sim.Duration
+	// ElectionPriority weighs this manager in FM election; ties break
+	// on DSN.
+	ElectionPriority uint8
+	// PortReadBatch is the number of ports fetched per PI-4 read
+	// (ablation: the paper's algorithms read one port per request; a
+	// PI-4 completion can carry up to MaxReadBlocks blocks, i.e. 4
+	// ports). Values are clamped to [1, 4].
+	PortReadBatch int
+	// NoProbeMemo disables the link-memo optimization that suppresses
+	// probes over links the FM has already recorded (ablation: every
+	// active port is probed, duplicates resolved by DSN as in the
+	// ASI-SIG flow chart).
+	NoProbeMemo bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.FMFactor <= 0 {
+		o.FMFactor = 1
+	}
+	if o.Cost == nil {
+		c := DefaultCostModel()
+		o.Cost = &c
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * sim.Millisecond
+	}
+	if o.VerifyTimeout <= 0 {
+		o.VerifyTimeout = 1 * sim.Millisecond
+	}
+	if o.CoalesceDelay <= 0 {
+		o.CoalesceDelay = 25 * sim.Microsecond
+	}
+	return o
+}
+
+// reqKind classifies outstanding PI-4 requests.
+type reqKind int
+
+const (
+	reqProbeGeneral reqKind = iota // general-info read through a port
+	reqReadPort                    // port-attribute read of a known device
+	reqWrite                       // event-route / path programming write
+	reqVerify                      // partial rediscovery route validation
+	reqClaim                       // distributed discovery ownership claim
+)
+
+// request is one outstanding PI-4 request and the context to interpret
+// its completion.
+type request struct {
+	tag  uint32
+	kind reqKind
+	path route.Path
+	// For probes: the device and port the request crosses last (the
+	// near side of the link being explored). Zero srcDSN for the very
+	// first probe from the host endpoint... which uses the host DSN.
+	srcDSN  asi.DSN
+	srcPort int
+	// For port reads and writes: the target device and port index;
+	// nports > 1 for batched port reads.
+	dsn    asi.DSN
+	port   int
+	nports int
+	// timeout fires if no completion arrives.
+	timeout sim.EventID
+}
+
+// workKind classifies FM processing work items.
+type workKind int
+
+const (
+	wStart workKind = iota
+	wCompletion
+	wTimeout
+	wEvent
+	wSync
+)
+
+type work struct {
+	kind workKind
+	req  *request
+	pi4  asi.PI4
+	pi5  asi.PI5
+	sync asi.FMSync
+}
+
+// driver is a discovery algorithm plugged into the Manager. The Manager
+// owns packet mechanics (tags, timeouts, the FM processing queue, the
+// database); the driver decides what to send next.
+type driver interface {
+	// start fires once per discovery run, after the FM has read its own
+	// endpoint's configuration space.
+	start()
+	// onGeneral is called after a probe completion was processed into
+	// the database. n is nil when ok is false (error or timeout);
+	// isNew reports whether the device entered the database just now.
+	onGeneral(req *request, n *Node, isNew, ok bool)
+	// onPort is called after a port-attribute read was processed.
+	onPort(req *request, n *Node, ok bool)
+	// finished reports whether the driver has no more work to issue.
+	finished() bool
+}
+
+// Manager is an ASI fabric manager: a software management entity hosted
+// on a fabric endpoint.
+type Manager struct {
+	f   *fabric.Fabric
+	dev *fabric.Device
+	e   *sim.Engine
+	opt Options
+
+	db *DB
+	// prevDB is the database of the previous full run, kept to report
+	// what a change-triggered rediscovery actually changed.
+	prevDB  *DB
+	pending map[uint32]*request
+	nextTag uint32
+
+	busy  bool
+	queue []work
+
+	discovering bool
+	partialRun  bool
+	dirty       bool
+	coalesced   bool
+
+	drv driver
+
+	res  Result
+	last *Result
+
+	// OnDiscoveryComplete fires when a discovery run finishes, with its
+	// measurements.
+	OnDiscoveryComplete func(Result)
+
+	elect *Elector
+	// preElection buffers announcements that arrive before this
+	// candidate calls StartElection.
+	preElection []asi.Election
+	dist        *distState
+
+	// team wires this manager into a distributed-discovery team;
+	// teamGen is the claim generation of the current round.
+	team    *Team
+	teamGen uint32
+
+	// beats/watchdog implement FM failover.
+	beats    *Heartbeater
+	watchdog *Watchdog
+
+	// partialSeq tracks the last PI-5 sequence seen per reporter, so
+	// stale reports do not re-trigger partial assimilation.
+	partialSeq map[asi.DSN]uint32
+
+	// stale counts completions whose request had already timed out.
+	stale int
+}
+
+// NewManager attaches a fabric manager to an endpoint device.
+func NewManager(f *fabric.Fabric, dev *fabric.Device, opt Options) *Manager {
+	if dev.Type != asi.DeviceEndpoint {
+		panic("core: fabric managers run on endpoints")
+	}
+	m := &Manager{
+		f:       f,
+		dev:     dev,
+		e:       f.Engine,
+		opt:     opt.withDefaults(),
+		pending: make(map[uint32]*request),
+		db:      NewDB(dev.DSN),
+	}
+	m.drv = m.newDriver()
+	dev.SetHandler(m)
+	return m
+}
+
+// newDriver instantiates the configured algorithm.
+func (m *Manager) newDriver() driver {
+	switch m.opt.Algorithm {
+	case SerialPacket:
+		return &serialDriver{m: m, perDeviceParallel: false}
+	case SerialDevice:
+		return &serialDriver{m: m, perDeviceParallel: true}
+	case Parallel, Partial:
+		return &parallelDriver{m: m}
+	case Distributed:
+		gen := m.teamGen
+		if gen == 0 {
+			gen = 1 // standalone distributed manager
+		}
+		return &distributedDriver{m: m, gen: gen}
+	default:
+		panic(fmt.Sprintf("core: unknown algorithm %v", m.opt.Algorithm))
+	}
+}
+
+// DB returns the manager's current topology database.
+func (m *Manager) DB() *DB { return m.db }
+
+// Device returns the hosting endpoint.
+func (m *Manager) Device() *fabric.Device { return m.dev }
+
+// Options returns the effective options.
+func (m *Manager) Options() Options { return m.opt }
+
+// Discovering reports whether a discovery run is in progress.
+func (m *Manager) Discovering() bool { return m.discovering }
+
+// LastResult returns the most recent completed discovery's measurements.
+func (m *Manager) LastResult() (Result, bool) {
+	if m.last == nil {
+		return Result{}, false
+	}
+	return *m.last, true
+}
+
+// HandlePacket implements fabric.Handler: every management packet
+// delivered to the FM's endpoint lands here and is queued for the FM's
+// serial packet processor.
+func (m *Manager) HandlePacket(port int, pkt *asi.Packet) {
+	switch pl := pkt.Payload.(type) {
+	case asi.PI4:
+		m.res.PacketsReceived++
+		m.res.BytesReceived += uint64(pkt.WireSize())
+		req, ok := m.pending[pl.Tag]
+		if !ok {
+			m.stale++
+			return
+		}
+		delete(m.pending, pl.Tag)
+		m.e.Cancel(req.timeout)
+		m.enqueue(work{kind: wCompletion, req: req, pi4: pl})
+	case asi.PI5:
+		m.res.PacketsReceived++
+		m.res.BytesReceived += uint64(pkt.WireSize())
+		m.enqueue(work{kind: wEvent, pi5: pl})
+	case asi.FMSync:
+		m.enqueue(work{kind: wSync, sync: pl})
+	case asi.Heartbeat:
+		if m.watchdog != nil {
+			m.watchdog.feed()
+		}
+	case asi.Election:
+		if m.elect != nil {
+			m.elect.handle(pl)
+		} else {
+			// Announcements can land before this candidate enters the
+			// election (power-up skew); buffer them for replay.
+			m.preElection = append(m.preElection, pl)
+		}
+	}
+}
+
+// enqueue adds a work item to the FM's serial processor.
+func (m *Manager) enqueue(w work) {
+	m.queue = append(m.queue, w)
+	if !m.busy {
+		m.processNext()
+	}
+}
+
+// processNext models the FM software: one packet at a time, each costing
+// the algorithm's processing time at the current database size.
+func (m *Manager) processNext() {
+	if len(m.queue) == 0 {
+		m.busy = false
+		return
+	}
+	m.busy = true
+	w := m.queue[0]
+	m.queue = m.queue[1:]
+	var cost sim.Duration
+	switch w.kind {
+	case wEvent:
+		cost = m.opt.Cost.EventProcessing(m.opt.FMFactor)
+	default:
+		cost = m.opt.Cost.FMProcessing(m.opt.Algorithm, m.db.NumNodes(), m.opt.FMFactor)
+	}
+	m.e.After(cost, func(*sim.Engine) {
+		if m.discovering {
+			m.res.Processed++
+			m.res.FMBusy += cost
+			m.res.Timeline = append(m.res.Timeline, TimelinePoint{Index: m.res.Processed, At: m.e.Now()})
+		}
+		m.handleWork(w)
+		m.checkDone()
+		m.processNext()
+	})
+}
+
+// handleWork interprets a processed work item.
+func (m *Manager) handleWork(w work) {
+	switch w.kind {
+	case wStart:
+		m.discoverSelf()
+		m.drv.start()
+	case wCompletion:
+		m.applyCompletion(w.req, w.pi4)
+	case wTimeout:
+		m.res.TimedOut++
+		m.applyFailure(w.req)
+	case wEvent:
+		m.handleEvent(w.pi5)
+	case wSync:
+		if m.team != nil {
+			m.team.onSync(m, w.sync)
+		}
+	}
+}
+
+// discoverSelf reads the host endpoint's own configuration space — a
+// local operation, the first step of every variant in the paper's
+// flow charts ("Discovery starts on the host endpoint").
+func (m *Manager) discoverSelf() {
+	blocks, err := m.dev.Config.Read(asi.GeneralInfoOffset, asi.GeneralInfoBlocks)
+	if err != nil {
+		panic("core: host endpoint config space unreadable: " + err.Error())
+	}
+	gi, err := asi.ParseGeneralInfo(blocks)
+	if err != nil {
+		panic("core: host endpoint general info invalid: " + err.Error())
+	}
+	host := &Node{
+		DSN:         m.dev.DSN,
+		Type:        gi.Type,
+		Ports:       gi.Ports,
+		Path:        route.Path{},
+		ArrivalPort: 0,
+		PortKnown:   make([]bool, gi.Ports),
+		PortActive:  make([]bool, gi.Ports),
+		General:     gi,
+	}
+	for p := 0; p < gi.Ports; p++ {
+		host.PortKnown[p] = true
+		host.PortActive[p] = m.dev.PortActive(p)
+	}
+	m.db.AddNode(host)
+}
+
+// applyCompletion folds a PI-4 completion into the database and notifies
+// the driver.
+func (m *Manager) applyCompletion(req *request, resp asi.PI4) {
+	switch req.kind {
+	case reqProbeGeneral:
+		if resp.Op != asi.PI4ReadCompletionData {
+			m.drv.onGeneral(req, nil, false, false)
+			return
+		}
+		gi, err := asi.ParseGeneralInfo(resp.Data)
+		if err != nil {
+			m.drv.onGeneral(req, nil, false, false)
+			return
+		}
+		n := &Node{
+			DSN:         gi.DSN,
+			Type:        gi.Type,
+			Ports:       gi.Ports,
+			Path:        req.path,
+			ArrivalPort: int(resp.ArrivalPort),
+			PortKnown:   make([]bool, gi.Ports),
+			PortActive:  make([]bool, gi.Ports),
+			General:     gi,
+		}
+		isNew := m.db.AddNode(n)
+		if !isNew {
+			n = m.db.Node(gi.DSN)
+		}
+		m.db.AddLink(Link{A: req.srcDSN, APort: req.srcPort, B: gi.DSN, BPort: int(resp.ArrivalPort)})
+		m.drv.onGeneral(req, n, isNew, true)
+	case reqReadPort:
+		n := m.db.Node(req.dsn)
+		if n == nil {
+			return
+		}
+		count := req.nports
+		if count < 1 {
+			count = 1
+		}
+		ok := resp.Op == asi.PI4ReadCompletionData
+		for k := 0; k < count && req.port+k < n.Ports; k++ {
+			port := req.port + k
+			n.PortKnown[port] = true
+			n.PortActive[port] = false
+			if ok {
+				lo := k * int(asi.PortInfoBlocks)
+				hi := lo + int(asi.PortInfoBlocks)
+				if hi <= len(resp.Data) {
+					if info, err := asi.ParsePortInfo(resp.Data[lo:hi]); err == nil {
+						n.PortActive[port] = info.Active
+					}
+				}
+			}
+		}
+		m.drv.onPort(req, n, ok)
+	case reqWrite:
+		m.onWriteDone(req, resp.Op == asi.PI4WriteCompletion)
+	case reqVerify:
+		m.onVerify(req, resp, true)
+	case reqClaim:
+		if ch, ok := m.drv.(claimHandler); ok {
+			won := resp.Op == asi.PI4ClaimCompletion && len(resp.Data) >= 2
+			var owner uint32
+			if won {
+				owner = resp.Data[1]
+			}
+			ch.onClaim(req, owner, won)
+		}
+	}
+}
+
+// applyFailure handles a timed-out request like an error completion.
+func (m *Manager) applyFailure(req *request) {
+	switch req.kind {
+	case reqProbeGeneral:
+		m.drv.onGeneral(req, nil, false, false)
+	case reqReadPort:
+		if n := m.db.Node(req.dsn); n != nil {
+			count := req.nports
+			if count < 1 {
+				count = 1
+			}
+			for k := 0; k < count && req.port+k < n.Ports; k++ {
+				n.PortKnown[req.port+k] = true
+				n.PortActive[req.port+k] = false
+			}
+			m.drv.onPort(req, n, false)
+		}
+	case reqWrite:
+		m.onWriteDone(req, false)
+	case reqVerify:
+		m.onVerify(req, asi.PI4{}, false)
+	case reqClaim:
+		if ch, ok := m.drv.(claimHandler); ok {
+			ch.onClaim(req, 0, false)
+		}
+	}
+}
+
+// send transmits a PI-4 request along path and registers it as pending.
+// It returns false when the path cannot be encoded (turn pool overflow) —
+// the device is unreachable by source routing from this FM.
+func (m *Manager) send(req *request, payload asi.PI4) bool {
+	hdr, err := route.Header(req.path, asi.PI4DeviceManagement)
+	if err != nil {
+		return false
+	}
+	req.tag = m.nextTag
+	m.nextTag++
+	payload.Tag = req.tag
+	pkt := &asi.Packet{Header: hdr, Payload: payload}
+	m.pending[req.tag] = req
+	m.res.PacketsSent++
+	m.res.BytesSent += uint64(pkt.WireSize())
+	tag := req.tag
+	window := m.opt.RequestTimeout
+	if req.kind == reqVerify {
+		window = m.opt.VerifyTimeout
+	}
+	req.timeout = m.e.After(window, func(*sim.Engine) {
+		r, ok := m.pending[tag]
+		if !ok {
+			return
+		}
+		delete(m.pending, tag)
+		m.enqueue(work{kind: wTimeout, req: r})
+	})
+	m.dev.Inject(pkt)
+	return true
+}
+
+// probe sends a general-information read through srcDSN's srcPort along
+// path, to identify whatever device is attached there.
+func (m *Manager) probe(path route.Path, srcDSN asi.DSN, srcPort int) bool {
+	req := &request{kind: reqProbeGeneral, path: path, srcDSN: srcDSN, srcPort: srcPort}
+	return m.send(req, asi.PI4{
+		Op:     asi.PI4ReadRequest,
+		Offset: asi.GeneralInfoOffset,
+		Count:  asi.GeneralInfoBlocks,
+	})
+}
+
+// portBatch returns the configured ports-per-read, clamped to what one
+// PI-4 completion can carry.
+func (m *Manager) portBatch() int {
+	b := m.opt.PortReadBatch
+	if b < 1 {
+		b = 1
+	}
+	if max := asi.MaxReadBlocks / int(asi.PortInfoBlocks); b > max {
+		b = max
+	}
+	return b
+}
+
+// readPortRange sends one (possibly batched) port read starting at port
+// start. It reports whether a request went out and the first unread port.
+func (m *Manager) readPortRange(n *Node, start int) (sent bool, next int) {
+	count := m.portBatch()
+	if start+count > n.Ports {
+		count = n.Ports - start
+	}
+	req := &request{kind: reqReadPort, path: n.Path, dsn: n.DSN, port: start, nports: count}
+	ok := m.send(req, asi.PI4{
+		Op:     asi.PI4ReadRequest,
+		Offset: asi.PortInfoOffset(start),
+		Count:  uint8(count) * asi.PortInfoBlocks,
+	})
+	return ok, start + count
+}
+
+// readAllPorts issues attribute reads covering every port of n, batched
+// per the options, and returns the number of requests sent.
+func (m *Manager) readAllPorts(n *Node) int {
+	sent := 0
+	for start := 0; start < n.Ports; {
+		var ok bool
+		ok, start = m.readPortRange(n, start)
+		if ok {
+			sent++
+		}
+	}
+	return sent
+}
+
+// probeSpec describes an exploration step: what lies beyond a discovered
+// switch port.
+type probeSpec struct {
+	path    route.Path
+	srcDSN  asi.DSN
+	srcPort int
+}
+
+// probesFrom enumerates the exploration steps a fully port-read device
+// enables: one probe per active port whose link the FM has not yet
+// recorded. Endpoints never forward, so only switches (and the host
+// endpoint at start) spawn probes.
+func (m *Manager) probesFrom(n *Node) []probeSpec {
+	if n.Type != asi.DeviceSwitch {
+		return nil
+	}
+	var out []probeSpec
+	for p := 0; p < n.Ports; p++ {
+		out = append(out, m.probesFromPort(n, p)...)
+	}
+	return out
+}
+
+// probesFromPort is the single-port variant of probesFrom, used by the
+// parallel driver to expand each active port the moment its attribute
+// read returns.
+func (m *Manager) probesFromPort(n *Node, port int) []probeSpec {
+	if n.Type != asi.DeviceSwitch {
+		return nil
+	}
+	if !n.PortKnown[port] || !n.PortActive[port] {
+		return nil
+	}
+	if !m.opt.NoProbeMemo {
+		if _, known := m.db.LinkAt(n.DSN, port); known {
+			return nil // arrival link, or a cycle link already crossed
+		}
+	}
+	return []probeSpec{{
+		path:    route.Extend(n.Path, route.Hop{Ports: n.Ports, In: n.ArrivalPort, Out: port}),
+		srcDSN:  n.DSN,
+		srcPort: port,
+	}}
+}
+
+// initialProbe explores the host endpoint's single port.
+func (m *Manager) initialProbe() bool {
+	host := m.db.Node(m.dev.DSN)
+	if host == nil || !host.PortActive[0] {
+		return false
+	}
+	return m.probe(route.Path{}, m.dev.DSN, 0)
+}
+
+// StartDiscovery begins a full discovery run: the database is discarded
+// and rebuilt, per the paper's assumption. If a run is already in
+// progress the request is absorbed (the running discovery will already
+// observe the fabric's current state or be re-armed by PI-5 dirtiness).
+func (m *Manager) StartDiscovery() {
+	if m.discovering {
+		m.dirty = true
+		return
+	}
+	m.beginRun()
+	m.enqueue(work{kind: wStart})
+}
+
+// beginRun resets per-run state.
+func (m *Manager) beginRun() {
+	m.discovering = true
+	m.partialRun = false
+	m.dirty = false
+	m.prevDB = m.db
+	m.db = NewDB(m.dev.DSN)
+	m.drv = m.newDriver()
+	for _, r := range m.pending {
+		m.e.Cancel(r.timeout)
+	}
+	m.pending = make(map[uint32]*request)
+	m.res = Result{Algorithm: m.opt.Algorithm, Start: m.e.Now()}
+}
+
+// checkDone finishes the run when the driver is idle and nothing is in
+// flight or queued.
+func (m *Manager) checkDone() {
+	if !m.discovering || !m.drv.finished() || len(m.pending) != 0 {
+		return
+	}
+	for _, w := range m.queue {
+		if w.kind != wEvent {
+			return
+		}
+	}
+	m.finishRun()
+}
+
+// finishRun closes out measurements and fires the completion callback.
+func (m *Manager) finishRun() {
+	m.discovering = false
+	m.partialRun = false
+	m.res.End = m.e.Now()
+	m.res.Duration = m.res.End.Sub(m.res.Start)
+	m.res.Devices = m.db.NumNodes()
+	m.res.Switches = m.db.NumSwitches()
+	m.res.Links = m.db.NumLinks()
+	if m.prevDB != nil && m.prevDB.NumNodes() > 0 {
+		d := DiffDBs(m.prevDB, m.db)
+		m.res.Changes = &d
+	}
+	r := m.res
+	m.last = &r
+	if m.OnDiscoveryComplete != nil {
+		m.OnDiscoveryComplete(r)
+	}
+	if m.dirty {
+		m.dirty = false
+		m.scheduleDiscovery()
+	}
+}
+
+// handleEvent implements change assimilation: a PI-5 report triggers a
+// (coalesced) rediscovery, or a localized update under the Partial
+// algorithm.
+func (m *Manager) handleEvent(ev asi.PI5) {
+	if m.opt.Algorithm == Partial {
+		m.handleEventPartial(ev)
+		return
+	}
+	if m.discovering {
+		// Reports arriving mid-run belong to the change being
+		// assimilated (or force one more run via the dirty flag).
+		m.dirty = true
+		return
+	}
+	m.scheduleDiscovery()
+}
+
+// scheduleDiscovery arms a coalesced discovery start so a burst of PI-5
+// reports for one change triggers a single run.
+func (m *Manager) scheduleDiscovery() {
+	if m.coalesced {
+		return
+	}
+	m.coalesced = true
+	m.e.After(m.opt.CoalesceDelay, func(*sim.Engine) {
+		m.coalesced = false
+		m.StartDiscovery()
+	})
+}

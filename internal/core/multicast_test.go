@@ -1,0 +1,173 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asi"
+	"repro/internal/fabric"
+	"repro/internal/topo"
+)
+
+// multicastSetup discovers the fabric and programs one group over it.
+func multicastSetup(t *testing.T, tp *topo.Topology, mgid uint16, memberIdx []int) (*Manager, *fabric.Fabric, []asi.DSN, func()) {
+	t.Helper()
+	e, f, m := setup(t, tp, Parallel)
+	runDiscovery(t, e, m)
+	eps := tp.Endpoints()
+	members := make([]asi.DSN, len(memberIdx))
+	for i, idx := range memberIdx {
+		members[i] = f.Device(eps[idx]).DSN
+	}
+	var dist *DistResult
+	if err := m.ProgramMulticastGroup(mgid, members, func(d DistResult) { dist = &d }); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if dist == nil {
+		t.Fatal("multicast programming did not complete")
+	}
+	if dist.Failures != 0 {
+		t.Fatalf("MFT write failures: %d", dist.Failures)
+	}
+	return m, f, members, func() { e.Run() }
+}
+
+// countMulticastDeliveries sends one group packet from the given member
+// and returns per-endpoint delivery counts.
+func countMulticastDeliveries(t *testing.T, f *fabric.Fabric, from asi.DSN, mgid uint16, run func()) map[asi.DSN]int {
+	t.Helper()
+	counts := map[asi.DSN]int{}
+	for _, d := range f.Devices() {
+		if d.Type != asi.DeviceEndpoint {
+			continue
+		}
+		d := d
+		d.SetHandler(fabric.HandlerFunc(func(port int, pkt *asi.Packet) {
+			if pkt.Header.Multicast {
+				counts[d.DSN]++
+			}
+		}))
+	}
+	src, ok := f.DeviceByDSN(from)
+	if !ok {
+		t.Fatal("unknown source")
+	}
+	src.Inject(&asi.Packet{
+		Header:  asi.RouteHeader{Multicast: true, MGID: mgid, PI: asi.PIApplication},
+		Payload: asi.AppData{Bytes: 128},
+	})
+	run()
+	return counts
+}
+
+func TestMulticastReachesAllMembersExactlyOnce(t *testing.T) {
+	tp := topo.Mesh(4, 4)
+	_, f, members, run := multicastSetup(t, tp, 3, []int{0, 5, 10, 15})
+	for _, sender := range members {
+		counts := countMulticastDeliveries(t, f, sender, 3, run)
+		for _, member := range members {
+			want := 1
+			if member == sender {
+				want = 0
+			}
+			if counts[member] != want {
+				t.Errorf("sender %v: member %v received %d, want %d", sender, member, counts[member], want)
+			}
+		}
+		// Non-members must receive nothing.
+		for dsn, c := range counts {
+			isMember := false
+			for _, m := range members {
+				if m == dsn {
+					isMember = true
+				}
+			}
+			if !isMember && c != 0 {
+				t.Errorf("non-member %v received %d multicast packets", dsn, c)
+			}
+		}
+	}
+}
+
+func TestMulticastNoLoopsOnTorus(t *testing.T) {
+	// A torus is full of cycles; the tree must still deliver exactly
+	// once and the packet storm must terminate.
+	tp := topo.Torus(4, 4)
+	_, f, members, run := multicastSetup(t, tp, 0, []int{0, 3, 12, 15})
+	counts := countMulticastDeliveries(t, f, members[0], 0, run)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total != len(members)-1 {
+		t.Errorf("delivered %d packets for %d receivers", total, len(members)-1)
+	}
+}
+
+func TestMulticastUnknownGroupDropped(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	_, f, members, run := multicastSetup(t, tp, 1, []int{0, 4})
+	before := f.Counters().Drops[fabric.DropRouteError]
+	counts := countMulticastDeliveries(t, f, members[0], 9 /* unprogrammed */, run)
+	for dsn, c := range counts {
+		if c != 0 {
+			t.Errorf("endpoint %v received packets for an unprogrammed group", dsn)
+		}
+	}
+	if f.Counters().Drops[fabric.DropRouteError] <= before {
+		t.Error("no drop recorded for unknown group")
+	}
+}
+
+func TestMulticastValidation(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	e, f, m := setup(t, tp, Parallel)
+	runDiscovery(t, e, m)
+	epDSN := f.Device(tp.Endpoints()[1]).DSN
+	swDSN := f.Device(0).DSN
+	cases := []struct {
+		mgid    uint16
+		members []asi.DSN
+	}{
+		{asi.MFTGroups, []asi.DSN{m.Device().DSN, epDSN}}, // group out of range
+		{0, []asi.DSN{epDSN}},                             // too few members
+		{0, []asi.DSN{epDSN, 0xdead}},                     // unknown member
+		{0, []asi.DSN{epDSN, swDSN}},                      // switch member
+	}
+	for _, c := range cases {
+		if _, err := m.ComputeMulticastTree(c.mgid, c.members); err == nil {
+			t.Errorf("ComputeMulticastTree(%d, %v) accepted", c.mgid, c.members)
+		}
+	}
+}
+
+func TestMulticastTreeMasksSaneOnMesh(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	e, f, m := setup(t, tp, Parallel)
+	runDiscovery(t, e, m)
+	eps := tp.Endpoints()
+	members := []asi.DSN{f.Device(eps[0]).DSN, f.Device(eps[8]).DSN}
+	tree, err := m.ComputeMulticastTree(2, members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.SwitchMasks) == 0 {
+		t.Fatal("empty tree")
+	}
+	// Corner-to-corner in a 3x3 mesh spans 5 switches on a shortest path.
+	if len(tree.SwitchMasks) != 5 {
+		t.Errorf("tree spans %d switches, want 5", len(tree.SwitchMasks))
+	}
+	for dsn, mask := range tree.SwitchMasks {
+		bits := 0
+		for i := 0; i < 32; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				bits++
+			}
+		}
+		if bits < 2 {
+			t.Errorf("switch %v has %d tree ports; a relay needs at least 2", dsn, bits)
+		}
+	}
+	_ = e
+}

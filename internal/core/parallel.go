@@ -1,0 +1,53 @@
+package core
+
+// parallelDriver implements the paper's Parallel discovery (section 3.3,
+// Fig. 3 flow chart): a propagation-order exploration in which the FM
+// sends new PI-4 packets as soon as it receives the responses that enable
+// them. The exploration queue of the serial variants is replaced by the
+// Manager's table of pending packets; the order in which devices are
+// discovered is not deterministic (it depends on response arrival order).
+// Discovery is complete when the pending table drains.
+type parallelDriver struct {
+	m *Manager
+}
+
+func (d *parallelDriver) start() {
+	d.m.initialProbe()
+}
+
+func (d *parallelDriver) onGeneral(req *request, n *Node, isNew, ok bool) {
+	if !ok || !isNew {
+		// Already discovered through an alternate path (the link was
+		// recorded by the Manager), or unreachable: nothing to expand.
+		return
+	}
+	// New device: immediately inject reads for all of its ports.
+	d.m.readAllPorts(n)
+}
+
+func (d *parallelDriver) onPort(req *request, n *Node, ok bool) {
+	if !ok {
+		return
+	}
+	if n == d.m.db.Node(d.m.dev.DSN) {
+		// Host endpoint port; handled by the initial probe.
+		return
+	}
+	// Each newly known active port immediately probes the device at the
+	// other end of its link (one request covers req.nports ports when
+	// reads are batched).
+	count := req.nports
+	if count < 1 {
+		count = 1
+	}
+	for k := 0; k < count && req.port+k < n.Ports; k++ {
+		for _, p := range d.m.probesFromPort(n, req.port+k) {
+			d.m.probe(p.path, p.srcDSN, p.srcPort)
+		}
+	}
+}
+
+// finished is always true for the parallel driver: every enabled request
+// is issued synchronously while processing the enabling completion, so
+// the Manager's pending table alone decides completion.
+func (d *parallelDriver) finished() bool { return true }

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/asi"
+	"repro/internal/fabric"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func TestDistributePathTablesWritesAllEntries(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	e, f, m := setup(t, tp, Parallel)
+	runDiscovery(t, e, m)
+	var d *DistResult
+	m.DistributePathTables(func(r DistResult) { d = &r })
+	e.Run()
+	if d == nil {
+		t.Fatal("distribution did not complete")
+	}
+	if d.Failures != 0 {
+		t.Errorf("failures: %d", d.Failures)
+	}
+	// 8 remote endpoints each get 8 entries over the fabric; the host's
+	// 8 entries are written locally (not counted as writes).
+	if d.Writes != 64 {
+		t.Errorf("writes = %d, want 64", d.Writes)
+	}
+
+	// Every endpoint's table must now resolve every other endpoint.
+	for _, id := range tp.Endpoints() {
+		src := f.Device(id)
+		for _, id2 := range tp.Endpoints() {
+			if id == id2 {
+				continue
+			}
+			dst := f.Device(id2)
+			if _, _, ok := src.LookupPath(dst.DSN); !ok {
+				t.Errorf("%s has no table entry for %s", src.Label, dst.Label)
+			}
+		}
+		if _, _, ok := src.LookupPath(0xdead); ok {
+			t.Errorf("%s resolved a bogus DSN", src.Label)
+		}
+	}
+}
+
+func TestPathTableRoutesDeliverTraffic(t *testing.T) {
+	tp := topo.Torus(4, 4)
+	e, f, m := setup(t, tp, Parallel)
+	runDiscovery(t, e, m)
+	m.DistributePathTables(nil)
+	e.Run()
+
+	rng := sim.NewRNG(5)
+	gen := fabric.NewTrafficGen(f, rng, 20*sim.Microsecond, 256)
+	gen.UseTables = true
+	gen.Start()
+	e.RunUntil(e.Now().Add(3 * sim.Millisecond))
+	gen.Stop()
+	e.Run()
+
+	if gen.Injected == 0 {
+		t.Fatal("no packets injected from tables")
+	}
+	if gen.NoRoute != 0 {
+		t.Errorf("%d injections had no table route", gen.NoRoute)
+	}
+	if f.Counters().Drops[fabric.DropRouteError] != 0 {
+		t.Errorf("table routes misrouted: %+v", f.Counters().Drops)
+	}
+	var rx uint64
+	for _, d := range f.Devices() {
+		if d.Type == asi.DeviceEndpoint && d.DSN != m.Device().DSN {
+			rx += d.RxPackets
+		}
+	}
+	if rx == 0 {
+		t.Error("no application packets delivered via tables")
+	}
+}
+
+func TestPathTablesRefreshAfterChange(t *testing.T) {
+	tp := topo.Torus(4, 4)
+	e, f, m := setup(t, tp, Parallel)
+	runDiscovery(t, e, m)
+	m.DistributeEventRoutes(nil)
+	e.Run()
+	m.DistributePathTables(nil)
+	e.Run()
+
+	// Remove a switch; assimilate; redistribute tables. Traffic between
+	// surviving endpoints must flow on the new routes.
+	redistributed := false
+	m.OnDiscoveryComplete = func(Result) {
+		m.DistributePathTables(func(DistResult) { redistributed = true })
+	}
+	if err := f.SetDeviceDown(5, false); err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	if !redistributed {
+		t.Fatal("tables not redistributed after assimilation")
+	}
+	// Stranded endpoint (the removed switch's host) must be absent from
+	// the surviving tables; everyone else resolvable.
+	stranded := f.Device(21) // ep(1,1) attaches to sw(1,1)=node 5
+	for _, n := range m.DB().Nodes() {
+		if n.Type != asi.DeviceEndpoint {
+			continue
+		}
+		src := f.Device(tp.Endpoints()[0])
+		_ = src
+		dev, ok := f.DeviceByDSN(n.DSN)
+		if !ok {
+			t.Fatalf("db node %v not in fabric", n.DSN)
+		}
+		if _, _, ok := dev.LookupPath(stranded.DSN); ok && dev.DSN != stranded.DSN {
+			t.Errorf("%s still has a route to the stranded endpoint", dev.Label)
+		}
+	}
+}
+
+func TestPathEntryRoundTrip(t *testing.T) {
+	p := route.Path{{Ports: 16, In: 4, Out: 0}, {Ports: 16, In: 1, Out: 4}}
+	pool, ptr, err := route.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, gotPool, gotPtr, valid := asi.DecodePathEntry(asi.EncodePathEntry(0xabcdef01, pool, ptr))
+	if !valid || dst != 0xabcdef01 || gotPool != pool || gotPtr != ptr {
+		t.Errorf("round trip: dst=%v pool=%#x ptr=%d valid=%v", dst, gotPool, gotPtr, valid)
+	}
+	if _, _, _, valid := asi.DecodePathEntry(make([]uint32, asi.PathTableEntryBlocks)); valid {
+		t.Error("zero entry reads valid")
+	}
+	if _, _, _, valid := asi.DecodePathEntry(nil); valid {
+		t.Error("nil entry reads valid")
+	}
+}
+
+func TestLookupPathOnSwitchFails(t *testing.T) {
+	_, f, _ := setup(t, topo.Mesh(3, 3), Parallel)
+	if _, _, ok := f.Device(0).LookupPath(1); ok {
+		t.Error("switch resolved a path table entry")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// The central correctness property of the whole system: over arbitrary
+// connected topologies, every discovery algorithm reconstructs exactly
+// the alive reachable fabric — same devices, same links — regardless of
+// cycles, parallel links, or irregular degree.
+
+func discoveryMatchesGroundTruth(t *testing.T, tp *topo.Topology, kind Kind, opt Options) bool {
+	t.Helper()
+	e := sim.NewEngine()
+	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(99))
+	if err != nil {
+		return false
+	}
+	opt.Algorithm = kind
+	m := NewManager(f, f.Device(tp.Endpoints()[0]), opt)
+	done := false
+	var res Result
+	m.OnDiscoveryComplete = func(r Result) { res, done = r, true }
+	m.StartDiscovery()
+	e.Run()
+	if !done {
+		t.Logf("%s/%v: discovery hung", tp.Name, kind)
+		return false
+	}
+	wantDev, wantLinks := groundTruth(f, m.Device().ID)
+	if res.Devices != wantDev || res.Links != wantLinks {
+		t.Logf("%s/%v: got %d devices / %d links, want %d / %d",
+			tp.Name, kind, res.Devices, res.Links, wantDev, wantLinks)
+		return false
+	}
+	// Every stored path must be consistent with the database graph.
+	for _, n := range m.DB().Nodes() {
+		if p, _ := m.DB().PathTo(n.DSN); p == nil {
+			t.Logf("%s/%v: node %v unreachable in own database", tp.Name, kind, n.DSN)
+			return false
+		}
+	}
+	return true
+}
+
+func TestDiscoveryCorrectOnRandomTopologies(t *testing.T) {
+	f := func(seed uint64, n, extra uint8) bool {
+		nsw := int(n%18) + 2
+		tp := topo.Random(nsw, int(extra%24), sim.NewRNG(seed))
+		for _, kind := range PaperKinds() {
+			if !discoveryMatchesGroundTruth(t, tp, kind, Options{}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiscoveryCorrectOnRandomTopologiesWithAblations(t *testing.T) {
+	f := func(seed uint64, n uint8, batch uint8, noMemo bool) bool {
+		nsw := int(n%12) + 2
+		tp := topo.Random(nsw, int(seed%16), sim.NewRNG(seed))
+		opt := Options{PortReadBatch: int(batch%4) + 1, NoProbeMemo: noMemo}
+		return discoveryMatchesGroundTruth(t, tp, Parallel, opt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssimilationCorrectOnRandomTopologies(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		nsw := int(n%10) + 3
+		tp := topo.Random(nsw, int(seed%8), sim.NewRNG(seed))
+		e := sim.NewEngine()
+		fab, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(seed))
+		if err != nil {
+			return false
+		}
+		m := NewManager(fab, fab.Device(tp.Endpoints()[0]), Options{Algorithm: Parallel})
+		done := 0
+		m.OnDiscoveryComplete = func(Result) { done++ }
+		m.StartDiscovery()
+		e.Run()
+		if done != 1 {
+			return false
+		}
+		m.DistributeEventRoutes(nil)
+		e.Run()
+		// Remove a random non-host switch loudly.
+		hostSwitch, _, _ := tp.Peer(tp.Endpoints()[0], 0)
+		rng := sim.NewRNG(seed + 1)
+		var victim topo.NodeID
+		for {
+			victim = fab.RandomSwitch(rng)
+			if victim != hostSwitch {
+				break
+			}
+		}
+		if err := fab.SetDeviceDown(victim, false); err != nil {
+			return false
+		}
+		e.Run()
+		// Either the change was assimilated (usual case) or every
+		// reporter was stranded (possible in sparse random graphs); in
+		// the latter case the old DB is legitimately stale and the run
+		// is vacuous.
+		if done < 2 {
+			return true
+		}
+		wantDev, wantLinks := groundTruth(fab, m.Device().ID)
+		return m.DB().NumNodes() == wantDev && m.DB().NumLinks() == wantLinks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// TimelinePoint records that the FM finished processing its n-th
+// management packet at a given simulation time — the data behind the
+// paper's Fig. 7(a).
+type TimelinePoint struct {
+	Index int
+	At    sim.Time
+}
+
+// Result captures one discovery run's measurements: the paper records the
+// topology discovery time, the amount of management packets and bytes
+// generated and received by the FM, and the FM processing timeline
+// (section 4.1).
+type Result struct {
+	Algorithm Kind
+	// Start and End bound the discovery process; Duration = End - Start.
+	Start, End sim.Time
+	Duration   sim.Duration
+	// PacketsSent/BytesSent count management packets the FM injected;
+	// PacketsReceived/BytesReceived count management packets delivered
+	// to it.
+	PacketsSent, BytesSent         uint64
+	PacketsReceived, BytesReceived uint64
+	// Processed counts FM work items (packet processings) and FMBusy
+	// their total cost; FMBusy/Processed is the paper's Fig. 4 metric.
+	Processed int
+	FMBusy    sim.Duration
+	// TimedOut counts requests that expired without completion.
+	TimedOut int
+	// Devices/Switches/Links summarize the resulting topology database.
+	Devices, Switches, Links int
+	// Timeline is the per-packet FM processing trace (Fig. 7a).
+	Timeline []TimelinePoint
+	// Changes summarizes what this run's topology differs from the
+	// previous full discovery's (nil on the very first run).
+	Changes *Diff
+}
+
+// AvgFMProcessing returns the mean FM processing time per packet — the
+// quantity plotted in the paper's Fig. 4.
+func (r Result) AvgFMProcessing() sim.Duration {
+	if r.Processed == 0 {
+		return 0
+	}
+	return r.FMBusy / sim.Duration(r.Processed)
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %v, %d devices (%d switches, %d links), %d pkts sent / %d received, avg FM proc %v",
+		r.Algorithm, r.Duration, r.Devices, r.Switches, r.Links,
+		r.PacketsSent, r.PacketsReceived, r.AvgFMProcessing())
+}

@@ -1,0 +1,108 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Report is one reproduced table or figure, rendered as text rows. The
+// harness does not plot; the rows carry exactly the series a figure
+// would, so the numbers can be compared against the paper directly or
+// fed to a plotting tool via CSV.
+type Report struct {
+	// ID is the experiment identifier, e.g. "fig6a".
+	ID string
+	// Title describes the experiment as the paper captions it.
+	Title string
+	// Header names the columns.
+	Header []string
+	// Rows holds the data, stringified.
+	Rows [][]string
+	// Notes carries methodology remarks appended after the table.
+	Notes []string
+}
+
+// Render writes an aligned text table.
+func (r Report) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(r.Header)); err != nil {
+		return err
+	}
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total)); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the report as comma-separated values (cells containing
+// commas or quotes are quoted).
+func (r Report) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,225 @@
+// Package experiment reproduces the paper's evaluation: it builds
+// fabrics, drives the management protocol through the paper's scenarios
+// (initial discovery, event-route distribution, a topological change,
+// PI-5 detection, change assimilation), and renders each table and figure
+// of section 4 as a textual report. Independent simulation runs execute
+// in parallel across a worker pool.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Change selects the topological change injected after the transient
+// period, as in the paper: "the addition or removal of a randomly chosen
+// fabric switch".
+type Change int
+
+const (
+	// NoChange measures the discovery of the fully active fabric
+	// (paper Figs. 4, 7 and 8: "assuming that all fabric devices are
+	// active").
+	NoChange Change = iota
+	// RemoveSwitch hot-removes a random switch; PI-5 reports trigger
+	// the measured rediscovery.
+	RemoveSwitch
+	// AddSwitch boots the fabric with one random switch absent and
+	// hot-adds it after the transient.
+	AddSwitch
+)
+
+// String names the change.
+func (c Change) String() string {
+	switch c {
+	case NoChange:
+		return "none"
+	case RemoveSwitch:
+		return "remove"
+	case AddSwitch:
+		return "add"
+	default:
+		return fmt.Sprintf("Change(%d)", int(c))
+	}
+}
+
+// RunSpec describes one simulation run.
+type RunSpec struct {
+	Topology     string
+	Algorithm    core.Kind
+	FMFactor     float64
+	DeviceFactor float64
+	Seed         uint64
+	Change       Change
+	// Trace optionally records packet-level fabric events for the run.
+	Trace trace.Recorder
+}
+
+// Outcome carries one run's measurements.
+type Outcome struct {
+	Spec RunSpec
+	// PhysicalNodes is the total device count of the built topology
+	// (the x-axis of Fig. 6b); Switches its switch count.
+	PhysicalNodes int
+	Switches      int
+	// ActiveNodes counts devices alive and reachable from the FM after
+	// the change (the x-axis of Fig. 6a).
+	ActiveNodes int
+	// Result is the measured discovery: the change-triggered run, or
+	// the initial discovery for NoChange.
+	Result core.Result
+	// Initial is the transient-period discovery that preceded the
+	// change.
+	Initial core.Result
+	// Err reports a failed run (e.g. no PI-5 reached the FM).
+	Err error
+}
+
+// Run executes one specification to completion.
+func Run(spec RunSpec) Outcome {
+	out := Outcome{Spec: spec}
+	tp, err := topo.ByName(spec.Topology)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	out.PhysicalNodes = len(tp.Nodes)
+	out.Switches = tp.NumSwitches()
+
+	e := sim.NewEngine()
+	rng := sim.NewRNG(spec.Seed*2654435761 + 1)
+	f, err := fabric.New(e, tp, fabric.Config{DeviceFactor: spec.DeviceFactor}, rng)
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	if spec.Trace != nil {
+		f.SetTracer(spec.Trace)
+	}
+	ep := f.Device(tp.Endpoints()[0])
+	m := core.NewManager(f, ep, core.Options{Algorithm: spec.Algorithm, FMFactor: spec.FMFactor})
+
+	// Pick the changed switch up front (never the FM's host switch,
+	// which would cut the manager off entirely).
+	var target topo.NodeID = -1
+	if spec.Change != NoChange {
+		hostSwitch, _, _ := tp.Peer(ep.ID, 0)
+		for {
+			target = f.RandomSwitch(rng)
+			if target != hostSwitch {
+				break
+			}
+		}
+	}
+	if spec.Change == AddSwitch {
+		if err := f.SetDeviceDown(target, true); err != nil {
+			out.Err = err
+			return out
+		}
+	}
+
+	// Transient period: initial discovery and event-route distribution.
+	var results []core.Result
+	m.OnDiscoveryComplete = func(r core.Result) { results = append(results, r) }
+	m.StartDiscovery()
+	e.Run()
+	if len(results) != 1 {
+		out.Err = fmt.Errorf("experiment: initial discovery produced %d results", len(results))
+		return out
+	}
+	out.Initial = results[0]
+	var distErr error
+	m.DistributeEventRoutes(func(d core.DistResult) {
+		if d.Failures > 0 {
+			distErr = fmt.Errorf("experiment: %d event-route failures", d.Failures)
+		}
+	})
+	e.Run()
+	if distErr != nil {
+		out.Err = distErr
+		return out
+	}
+
+	if spec.Change == NoChange {
+		out.Result = out.Initial
+		out.ActiveNodes = f.AliveReachableFrom(ep.ID)
+		return out
+	}
+
+	// Inject the change; PI-5 reports trigger the measured assimilation.
+	switch spec.Change {
+	case RemoveSwitch:
+		err = f.SetDeviceDown(target, false)
+	case AddSwitch:
+		err = f.SetDeviceUp(target, false)
+	}
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	e.Run()
+	if len(results) < 2 {
+		out.Err = fmt.Errorf("experiment: change on %s (switch %d) triggered no discovery",
+			spec.Topology, target)
+		return out
+	}
+	// Partial assimilation may produce several small runs (one per
+	// coalesced report batch); aggregate them into one measurement.
+	out.Result = results[1]
+	for _, r := range results[2:] {
+		out.Result.End = r.End
+		out.Result.Duration += r.Duration
+		out.Result.PacketsSent += r.PacketsSent
+		out.Result.BytesSent += r.BytesSent
+		out.Result.PacketsReceived += r.PacketsReceived
+		out.Result.BytesReceived += r.BytesReceived
+		out.Result.Processed += r.Processed
+		out.Result.FMBusy += r.FMBusy
+		out.Result.Devices = r.Devices
+		out.Result.Switches = r.Switches
+		out.Result.Links = r.Links
+	}
+	out.ActiveNodes = f.AliveReachableFrom(ep.ID)
+	return out
+}
+
+// RunWithRetry reruns with shifted seeds when a run fails for a
+// seed-specific reason (e.g. every PI-5 reporter was stranded by the
+// change), keeping sweep tables dense.
+func RunWithRetry(spec RunSpec, retries int) Outcome {
+	out := Run(spec)
+	for i := 0; i < retries && out.Err != nil; i++ {
+		spec.Seed += 7919
+		out = Run(spec)
+	}
+	return out
+}
+
+// RunAll executes the specifications across a worker pool, preserving
+// order. workers <= 0 selects GOMAXPROCS.
+func RunAll(specs []RunSpec, workers int) []Outcome {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]Outcome, len(specs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec RunSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i] = RunWithRetry(spec, 2)
+		}(i, spec)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,165 @@
+package fabric
+
+import (
+	"fmt"
+
+	"repro/internal/asi"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// link is a full-duplex cable between two device ports, modelled as two
+// independent half links, each with its own serializer occupancy and
+// credit state.
+type link struct {
+	f     *Fabric
+	a, b  *Device
+	aPort int
+	bPort int
+	up    bool
+	half  [2]halfLink // [0]: a->b, [1]: b->a
+}
+
+// halfLink is one direction of a link. Credits track the free receive
+// buffer slots per VC at the far end; the sender consumes one per packet
+// and the receiver returns it once the packet has left its input buffer.
+type halfLink struct {
+	busyUntil sim.Time
+	kickArmed bool
+	queues    [asi.NumVCs][]*asi.Packet
+	credits   [asi.NumVCs]int
+}
+
+func newLink(f *Fabric, a *Device, aPort int, b *Device, bPort int) *link {
+	l := &link{f: f, a: a, aPort: aPort, b: b, bPort: bPort}
+	for i := range l.half {
+		for vc := range l.half[i].credits {
+			l.half[i].credits[vc] = f.cfg.CreditsPerVC
+		}
+	}
+	return l
+}
+
+// halfFrom returns the transmit direction index for the given sender.
+func (l *link) halfFrom(d *Device) int {
+	if d == l.a {
+		return 0
+	}
+	return 1
+}
+
+// otherEnd returns the device and port at the opposite end from d.
+func (l *link) otherEnd(d *Device) (*Device, int) {
+	if d == l.a {
+		return l.b, l.bPort
+	}
+	return l.a, l.aPort
+}
+
+// portOf returns d's own port number on this link.
+func (l *link) portOf(d *Device) int {
+	if d == l.a {
+		return l.aPort
+	}
+	return l.bPort
+}
+
+// setUp trains or drops the link, updating port activity and config
+// spaces at both ends. Dropping the link discards queued packets and
+// resets credits, as a retrain would.
+func (l *link) setUp(up bool) {
+	l.up = up
+	for _, d := range []*Device{l.a, l.b} {
+		port := l.portOf(d)
+		peer, _ := l.otherEnd(d)
+		active := up && d.Alive() && peer.Alive()
+		d.setPortActive(port, active)
+	}
+	if !up {
+		for i := range l.half {
+			h := &l.half[i]
+			for vc := range h.queues {
+				h.queues[vc] = nil
+				h.credits[vc] = l.f.cfg.CreditsPerVC
+			}
+		}
+	}
+}
+
+// send enqueues pkt for transmission from d over this link and starts the
+// serializer if idle.
+func (l *link) send(d *Device, pkt *asi.Packet) {
+	if !l.up {
+		l.f.drop(DropInactivePort)
+		return
+	}
+	h := &l.half[l.halfFrom(d)]
+	vc := l.f.vcOf(pkt)
+	h.queues[vc] = append(h.queues[vc], pkt)
+	l.kick(d)
+}
+
+// kick runs the transmit scheduler for d's direction: while the serializer
+// is idle, pick the highest-priority VC with both a queued packet and a
+// credit, and put it on the wire. Management traffic (highest VC) always
+// wins arbitration, which is the property the paper relies on when it
+// states application traffic scarcely influences discovery time.
+func (l *link) kick(d *Device) {
+	e := l.f.Engine
+	dirIdx := l.halfFrom(d)
+	h := &l.half[dirIdx]
+	if h.busyUntil > e.Now() {
+		if !h.kickArmed {
+			h.kickArmed = true
+			e.At(h.busyUntil, func(*sim.Engine) {
+				h.kickArmed = false
+				l.kick(d)
+			})
+		}
+		return
+	}
+	if !l.up || !d.Alive() {
+		return
+	}
+	// Highest VC index first: VC2 is the management channel.
+	for vc := asi.NumVCs - 1; vc >= 0; vc-- {
+		if len(h.queues[vc]) == 0 || h.credits[vc] <= 0 {
+			continue
+		}
+		pkt := h.queues[vc][0]
+		h.queues[vc] = h.queues[vc][1:]
+		h.credits[vc]--
+		l.f.traceEvent(trace.Transmit, d, l.portOf(d), pkt, fmt.Sprintf("vc=%d", vc))
+		ser := l.f.serialization(pkt.WireSize())
+		h.busyUntil = e.Now().Add(ser)
+		l.f.counters.TxPackets++
+		l.f.counters.TxBytes += uint64(pkt.WireSize())
+		receiver, rxPort := l.otherEnd(d)
+		arrive := ser + l.f.cfg.Propagation
+		vcCopy := asi.VCID(vc)
+		e.After(arrive, func(*sim.Engine) {
+			receiver.arrive(rxPort, vcCopy, pkt, l, dirIdx)
+		})
+		// Serializer free again at busyUntil; try the next packet.
+		e.At(h.busyUntil, func(*sim.Engine) { l.kick(d) })
+		return
+	}
+}
+
+// returnCredit hands a buffer slot back to the sender of the given
+// direction and re-runs its transmit scheduler, since a packet may have
+// been blocked on credits alone.
+func (l *link) returnCredit(dirIdx int, vc asi.VCID) {
+	if !l.up {
+		return
+	}
+	h := &l.half[dirIdx]
+	if h.credits[vc] < l.f.cfg.CreditsPerVC {
+		h.credits[vc]++
+	}
+	sender := l.a
+	if dirIdx == 1 {
+		sender = l.b
+	}
+	l.kick(sender)
+}

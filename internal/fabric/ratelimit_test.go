@@ -1,0 +1,130 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/asi"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// appPacketTo builds a bulk application packet to the 2-hop endpoint
+// ep(0,1) in a 3x3 mesh.
+func appPacketTo01(t *testing.T, bytes int) *asi.Packet {
+	t.Helper()
+	p := route.Path{
+		{Ports: 16, In: topo.PortHost, Out: topo.PortEast},
+		{Ports: 16, In: topo.PortWest, Out: topo.PortHost},
+	}
+	hdr, err := route.Header(p, asi.PIApplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr.TC = 0
+	return &asi.Packet{Header: hdr, Payload: asi.AppData{Bytes: bytes}}
+}
+
+func TestInjectionRateLimiterPacesTraffic(t *testing.T) {
+	e, f := testFabric(t, topo.Mesh(3, 3))
+	ep := firstEndpoint(f)
+	dst := f.Device(10) // ep(0,1)
+	var arrivals []sim.Time
+	dst.SetHandler(HandlerFunc(func(port int, pkt *asi.Packet) {
+		arrivals = append(arrivals, e.Now())
+	}))
+
+	// 0.08 Gbps = 10 MB/s; a ~1020B packet needs ~102us of tokens.
+	ep.SetInjectionRate(0.08, 2176)
+	const n = 10
+	for i := 0; i < n; i++ {
+		ep.Inject(appPacketTo01(t, 1000))
+	}
+	e.Run()
+	if len(arrivals) != n {
+		t.Fatalf("delivered %d of %d", len(arrivals), n)
+	}
+	// Steady-state spacing ~= wire size / rate. Wire size = 1000 + 20
+	// overhead = 1020B -> 102us. Allow generous slack for the first
+	// burst-funded packets.
+	total := arrivals[len(arrivals)-1].Sub(arrivals[0])
+	perPkt := total / sim.Duration(n-1)
+	if perPkt < 80*sim.Microsecond || perPkt > 130*sim.Microsecond {
+		t.Errorf("paced spacing = %v per packet, want ~102us", perPkt)
+	}
+}
+
+func TestInjectionRateLimiterUnlimitedByDefault(t *testing.T) {
+	e, f := testFabric(t, topo.Mesh(3, 3))
+	ep := firstEndpoint(f)
+	dst := f.Device(10)
+	var last sim.Time
+	dst.SetHandler(HandlerFunc(func(port int, pkt *asi.Packet) { last = e.Now() }))
+	for i := 0; i < 10; i++ {
+		ep.Inject(appPacketTo01(t, 1000))
+	}
+	e.Run()
+	// At full 2 Gbps, 10x ~1KB packets drain in ~50us.
+	if last > sim.Time(100*sim.Microsecond) {
+		t.Errorf("unlimited injection took %v", last)
+	}
+}
+
+func TestManagementBypassesLimiter(t *testing.T) {
+	e, f := testFabric(t, topo.Mesh(3, 3))
+	ep := firstEndpoint(f)
+	got := attachCapture(e, ep)
+	ep.SetInjectionRate(0.01, 2176) // extremely slow bucket
+	// Saturate the bucket with bulk, then issue a management read.
+	for i := 0; i < 5; i++ {
+		ep.Inject(appPacketTo01(t, 2000))
+	}
+	ep.Inject(readReq(t, nil, 1, asi.GeneralInfoOffset, asi.GeneralInfoBlocks))
+	e.RunUntil(sim.Time(1 * sim.Millisecond))
+	if len(*got) != 1 {
+		t.Fatalf("management completion not received despite limiter: %d", len(*got))
+	}
+	if at := (*got)[0].at; at > sim.Time(50*sim.Microsecond) {
+		t.Errorf("management packet delayed to %v by the limiter", at)
+	}
+	if ep.limiter.Delayed == 0 {
+		t.Error("no bulk packet was delayed")
+	}
+	e.Run()
+}
+
+func TestSetInjectionRateValidation(t *testing.T) {
+	_, f := testFabric(t, topo.Mesh(3, 3))
+	ep := firstEndpoint(f)
+	ep.SetInjectionRate(1, 0) // burst clamped up
+	if ep.limiter.burst < 2176 {
+		t.Errorf("burst = %v", ep.limiter.burst)
+	}
+	ep.SetInjectionRate(0, 0) // removal
+	if ep.limiter != nil {
+		t.Error("limiter not removed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("switch limiter did not panic")
+		}
+	}()
+	f.Device(0).SetInjectionRate(1, 0)
+}
+
+func TestLimiterTokensNeverExceedBurst(t *testing.T) {
+	e, f := testFabric(t, topo.Mesh(3, 3))
+	ep := firstEndpoint(f)
+	ep.SetInjectionRate(2, 4000)
+	// Long idle, then a burst: only bucket-depth bytes go out instantly.
+	e.RunUntil(sim.Time(10 * sim.Millisecond))
+	for i := 0; i < 8; i++ {
+		ep.Inject(appPacketTo01(t, 1000))
+	}
+	l := ep.limiter
+	l.refillAt(e.Now())
+	if l.tokens > l.burst {
+		t.Errorf("tokens %v exceed burst %v", l.tokens, l.burst)
+	}
+	e.Run()
+}

@@ -1,0 +1,146 @@
+// Package metrics provides the small statistics toolkit the experiment
+// harness uses to aggregate simulation runs: samples with mean/deviation/
+// confidence intervals, and labelled series for rendering the paper's
+// figures as tables.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates scalar observations.
+type Sample struct {
+	xs []float64
+}
+
+// Add appends an observation.
+func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+
+// N returns the observation count.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Std returns the sample standard deviation (n-1 denominator), or 0 for
+// fewer than two observations.
+func (s *Sample) Std() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, x := range s.xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(s.xs)-1))
+}
+
+// Min returns the smallest observation, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the largest observation, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	m := s.xs[0]
+	for _, x := range s.xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// CI95 returns the half-width of the 95% confidence interval of the mean
+// under a normal approximation (1.96 sigma/sqrt(n)).
+func (s *Sample) CI95() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	return 1.96 * s.Std() / math.Sqrt(float64(len(s.xs)))
+}
+
+// Median returns the middle observation (average of the two middle ones
+// for even counts).
+func (s *Sample) Median() float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	xs := append([]float64(nil), s.xs...)
+	sort.Float64s(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// String summarizes the sample.
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.3g min=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Std(), s.Min(), s.Max())
+}
+
+// Point is one (x, y) observation in a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a labelled sequence of points, e.g. one curve of a figure.
+type Series struct {
+	Label  string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{x, y}) }
+
+// SortByX orders the points by x for rendering.
+func (s *Series) SortByX() {
+	sort.Slice(s.Points, func(i, j int) bool { return s.Points[i].X < s.Points[j].X })
+}
+
+// AggregateByX collapses duplicate x values into their mean y — how the
+// paper's Fig. 6(b) turns per-run scatter into per-topology averages.
+func (s *Series) AggregateByX() Series {
+	groups := map[float64]*Sample{}
+	for _, p := range s.Points {
+		g, ok := groups[p.X]
+		if !ok {
+			g = &Sample{}
+			groups[p.X] = g
+		}
+		g.Add(p.Y)
+	}
+	out := Series{Label: s.Label}
+	for x, g := range groups {
+		out.Add(x, g.Mean())
+	}
+	out.SortByX()
+	return out
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestSampleBasics(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Std() != 0 || s.Min() != 0 || s.Max() != 0 || s.CI95() != 0 || s.Median() != 0 {
+		t.Error("empty sample not all-zero")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if !almostEqual(s.Mean(), 5) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	// Known dataset: population std 2, sample std = sqrt(32/7).
+	if !almostEqual(s.Std(), math.Sqrt(32.0/7)) {
+		t.Errorf("Std = %v", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if !almostEqual(s.Median(), 4.5) {
+		t.Errorf("Median = %v", s.Median())
+	}
+	if s.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSampleSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(42)
+	if s.Mean() != 42 || s.Std() != 0 || s.CI95() != 0 || s.Median() != 42 {
+		t.Errorf("single observation stats wrong: %v", s.String())
+	}
+}
+
+func TestSampleMedianOdd(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{9, 1, 5} {
+		s.Add(x)
+	}
+	if s.Median() != 5 {
+		t.Errorf("Median = %v", s.Median())
+	}
+}
+
+func TestSampleStatsProperties(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		m := s.Mean()
+		return s.Min() <= m && m <= s.Max() && s.Std() >= 0 &&
+			s.Min() <= s.Median() && s.Median() <= s.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCI95ShrinksWithN(t *testing.T) {
+	var small, large Sample
+	for i := 0; i < 10; i++ {
+		small.Add(float64(i % 5))
+	}
+	for i := 0; i < 1000; i++ {
+		large.Add(float64(i % 5))
+	}
+	if large.CI95() >= small.CI95() {
+		t.Errorf("CI95 did not shrink: %v vs %v", large.CI95(), small.CI95())
+	}
+}
+
+func TestSeriesSortAndAggregate(t *testing.T) {
+	s := Series{Label: "x"}
+	s.Add(3, 30)
+	s.Add(1, 10)
+	s.Add(3, 50)
+	s.Add(2, 20)
+	agg := s.AggregateByX()
+	if len(agg.Points) != 3 {
+		t.Fatalf("aggregated to %d points", len(agg.Points))
+	}
+	if agg.Points[0].X != 1 || agg.Points[1].X != 2 || agg.Points[2].X != 3 {
+		t.Errorf("not sorted: %+v", agg.Points)
+	}
+	if agg.Points[2].Y != 40 {
+		t.Errorf("mean of duplicates = %v, want 40", agg.Points[2].Y)
+	}
+	if agg.Label != "x" {
+		t.Error("label lost")
+	}
+}
+
+func TestSeriesSortByX(t *testing.T) {
+	s := Series{}
+	s.Add(5, 1)
+	s.Add(-1, 2)
+	s.SortByX()
+	if s.Points[0].X != -1 {
+		t.Error("SortByX failed")
+	}
+}

@@ -1,0 +1,176 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Handler is a callback run when an event fires. It receives the engine so
+// that it can schedule follow-up events.
+type Handler func(e *Engine)
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant: earlier-scheduled events run first, which makes
+// runs deterministic regardless of heap internals.
+type event struct {
+	at       Time
+	seq      uint64
+	fn       Handler
+	canceled bool
+	index    int // position in the heap, maintained by eventQueue
+}
+
+// EventID identifies a scheduled event so it can be canceled. The zero
+// value is not a valid ID.
+type EventID struct{ ev *event }
+
+// eventQueue is a binary min-heap of events ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a sequential discrete-event simulator. It is not safe for
+// concurrent use; parallelism in this repository is achieved by running
+// many independent Engine instances (one per simulation run) across a
+// worker pool — see internal/experiment.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	stopped bool
+
+	// Processed counts events that have fired.
+	Processed uint64
+	// Scheduled counts events that have been scheduled (including later
+	// canceled ones).
+	Scheduled uint64
+}
+
+// NewEngine returns an engine at time zero with an empty event queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending reports the number of events still queued (including canceled
+// events not yet discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at the absolute instant t. Scheduling in the past
+// panics: it would silently reorder causality, which in a network
+// simulator always indicates a modelling bug.
+func (e *Engine) At(t Time, fn Handler) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event handler")
+	}
+	ev := &event{at: t, seq: e.nextSeq, fn: fn}
+	e.nextSeq++
+	e.Scheduled++
+	heap.Push(&e.queue, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d after the current instant. Negative d panics.
+func (e *Engine) After(d Duration, fn Handler) EventID {
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. Canceling an event that
+// already fired, or the zero EventID, is a no-op. Cancel reports whether
+// the event was actually descheduled by this call.
+func (e *Engine) Cancel(id EventID) bool {
+	ev := id.ev
+	if ev == nil || ev.canceled || ev.index < 0 {
+		return false
+	}
+	ev.canceled = true
+	return true
+}
+
+// Stop makes the current Run return after the in-flight event handler
+// completes. Pending events remain queued, so Run may be called again to
+// resume.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run processes events in timestamp order until the queue drains or Stop
+// is called. It returns the simulation time after the last processed
+// event.
+func (e *Engine) Run() Time {
+	return e.RunUntil(Never)
+}
+
+// RunUntil processes events with timestamps <= deadline, in order, until
+// the queue drains, the deadline passes, or Stop is called. If the queue
+// still holds events beyond the deadline, the clock is advanced to the
+// deadline. It returns the current simulation time.
+func (e *Engine) RunUntil(deadline Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		ev := e.queue[0]
+		if ev.at > deadline {
+			e.now = deadline
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn(e)
+	}
+	if len(e.queue) == 0 && deadline != Never && e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Step processes exactly one non-canceled event, if any, and reports
+// whether one fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn(e)
+		return true
+	}
+	return false
+}

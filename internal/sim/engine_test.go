@@ -1,0 +1,246 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimestampOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{500, 100, 300, 200, 400} {
+		at := at
+		e.At(at, func(e *Engine) {
+			if e.Now() != at {
+				t.Errorf("handler at %v ran at %v", at, e.Now())
+			}
+			got = append(got, e.Now())
+		})
+	}
+	e.Run()
+	want := []Time{100, 200, 300, 400, 500}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d ran at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(42, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events ran out of schedule order: %v", order)
+		}
+	}
+}
+
+func TestEngineAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(100, func(e *Engine) {
+		e.After(50, func(e *Engine) { fired = e.Now() })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Fatalf("After fired at %v, want 150", fired)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func(e *Engine) {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(50, func(*Engine) {})
+	})
+	e.Run()
+}
+
+func TestEngineNilHandlerPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	e.At(1, nil)
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.At(10, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Error("first Cancel returned false")
+	}
+	if e.Cancel(id) {
+		t.Error("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if e.Cancel(EventID{}) {
+		t.Error("Cancel of zero EventID returned true")
+	}
+}
+
+func TestEngineCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	id := e.At(10, func(*Engine) {})
+	e.Run()
+	if e.Cancel(id) {
+		t.Error("Cancel after fire returned true")
+	}
+}
+
+func TestEngineStopSuspendsAndResumes(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	e.At(10, func(e *Engine) { ran = append(ran, e.Now()); e.Stop() })
+	e.At(20, func(e *Engine) { ran = append(ran, e.Now()) })
+	e.Run()
+	if len(ran) != 1 || ran[0] != 10 {
+		t.Fatalf("after Stop ran %v, want [10]", ran)
+	}
+	e.Run()
+	if len(ran) != 2 || ran[1] != 20 {
+		t.Fatalf("after resume ran %v, want [10 20]", ran)
+	}
+}
+
+func TestEngineRunUntilDeadline(t *testing.T) {
+	e := NewEngine()
+	var ran []Time
+	for _, at := range []Time{10, 20, 30} {
+		e.At(at, func(e *Engine) { ran = append(ran, e.Now()) })
+	}
+	now := e.RunUntil(25)
+	if now != 25 {
+		t.Errorf("RunUntil returned %v, want 25", now)
+	}
+	if len(ran) != 2 {
+		t.Errorf("processed %d events before deadline, want 2", len(ran))
+	}
+	now = e.RunUntil(Never)
+	if now != 30 || len(ran) != 3 {
+		t.Errorf("resume: now=%v ran=%v", now, ran)
+	}
+}
+
+func TestEngineRunUntilAdvancesClockOnEmptyQueue(t *testing.T) {
+	e := NewEngine()
+	if now := e.RunUntil(1000); now != 1000 {
+		t.Fatalf("RunUntil on empty queue returned %v, want 1000", now)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(5, func(*Engine) { count++ })
+	e.At(6, func(*Engine) { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatalf("first Step: count=%d", count)
+	}
+	if !e.Step() || count != 2 {
+		t.Fatalf("second Step: count=%d", count)
+	}
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestEngineCounters(t *testing.T) {
+	e := NewEngine()
+	id := e.At(1, func(*Engine) {})
+	e.At(2, func(*Engine) {})
+	e.Cancel(id)
+	e.Run()
+	if e.Scheduled != 2 {
+		t.Errorf("Scheduled=%d, want 2", e.Scheduled)
+	}
+	if e.Processed != 1 {
+		t.Errorf("Processed=%d, want 1", e.Processed)
+	}
+}
+
+// Property: for any set of non-negative offsets, the engine fires events
+// in nondecreasing time order and processes all of them.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			e.At(Time(off), func(e *Engine) { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: handlers scheduling follow-ups never observe time running
+// backwards.
+func TestEngineCausalityProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		rng := NewRNG(seed)
+		e := NewEngine()
+		ok := true
+		var prev Time
+		var spawn func(depth int) Handler
+		spawn = func(depth int) Handler {
+			return func(e *Engine) {
+				if e.Now() < prev {
+					ok = false
+				}
+				prev = e.Now()
+				if depth > 0 {
+					e.After(Duration(rng.Intn(100)), spawn(depth-1))
+				}
+			}
+		}
+		for i := 0; i < int(n%16)+1; i++ {
+			e.At(Time(rng.Intn(50)), spawn(3))
+		}
+		e.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.At(Time(j%97), func(*Engine) {})
+		}
+		e.Run()
+	}
+}

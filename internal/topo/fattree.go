@@ -1,0 +1,135 @@
+package topo
+
+import "fmt"
+
+// FatTree builds an m-port n-tree following the construction the paper
+// cites from Lin, Chung and Huang ("A multiple LID routing scheme for
+// fat-tree-based InfiniBand networks"). With h = m/2:
+//
+//   - processing nodes (endpoints): 2·h^n
+//   - switches: (2n-1)·h^(n-1) — levels 1..n-1 have 2·h^(n-1) switches of
+//     radix m (h down ports, h up ports); the root level n has h^(n-1)
+//     switches with all m ports facing down.
+//
+// Switch coordinates: a non-root switch at level l is (l; w₁,…,w₍ₙ₋₁₎) with
+// w₁ ∈ [0,2h) and wᵢ ∈ [0,h) for i ≥ 2; a root is (n; v₁,…,v₍ₙ₋₁₎) with all
+// digits in [0,h). Up port j of a level-l switch connects to the switch one
+// level up whose free digit is replaced by j (digit l+1 below the root,
+// digit 1 at the root boundary), and the parent's down port toward it is
+// the replaced digit value. Port numbering on every switch: down ports
+// first, then up ports.
+func FatTree(m, n int) *Topology {
+	if m < 2 || m%2 != 0 {
+		panic(fmt.Sprintf("topo: fat-tree port count %d must be even and >= 2", m))
+	}
+	if n < 2 {
+		panic(fmt.Sprintf("topo: fat-tree depth %d must be >= 2", n))
+	}
+	h := m / 2
+	t := New(fmt.Sprintf("%d-port %d-tree", m, n))
+
+	// digitsBelow = h^(n-2): count of (w₂..w₍ₙ₋₁₎) combinations.
+	digitsBelow := pow(h, n-2)
+
+	// Switch IDs by (level, flattened coordinate).
+	// Non-root levels: coord = w₁*digitsBelow + rest, w₁ ∈ [0,2h).
+	// Root level: coord = v₁*digitsBelow + rest, v₁ ∈ [0,h).
+	ids := make([][]NodeID, n+1)
+	for l := 1; l < n; l++ {
+		ids[l] = make([]NodeID, 2*h*digitsBelow)
+		for c := range ids[l] {
+			ids[l][c] = t.AddSwitch(m, fmt.Sprintf("sw(l%d,%s)", l, coordString(c, h, n, false)))
+		}
+	}
+	ids[n] = make([]NodeID, h*digitsBelow)
+	for c := range ids[n] {
+		ids[n][c] = t.AddSwitch(m, fmt.Sprintf("sw(l%d,%s)", n, coordString(c, h, n, true)))
+	}
+
+	// Inter-switch links. Levels 1..n-2: up port j of (l; w) connects to
+	// (l+1; w with digit position l+1 set to j); parent down port = old
+	// digit value. Digit position i (1-based) maps into the flattened
+	// coordinate as described in digitAt/withDigit.
+	for l := 1; l <= n-2; l++ {
+		for c, id := range ids[l] {
+			for j := 0; j < h; j++ {
+				parentCoord := withDigit(c, l+1, j, h, n)
+				parent := ids[l+1][parentCoord]
+				downPort := digitAt(c, l+1, h, n)
+				t.mustConnect(id, h+j, parent, downPort)
+			}
+		}
+	}
+	// Level n-1 to roots: up port j of (n-1; w₁,…) connects to root
+	// (n; j, w₂, …); the root's down port is w₁ ∈ [0,2h).
+	for c, id := range ids[n-1] {
+		w1 := c / digitsBelow
+		rest := c % digitsBelow
+		for j := 0; j < h; j++ {
+			root := ids[n][j*digitsBelow+rest]
+			t.mustConnect(id, h+j, root, w1)
+		}
+	}
+
+	// Endpoints: p = (p₁,…,pₙ) attaches to leaf (1; p₁,…,p₍ₙ₋₁₎) at down
+	// port pₙ.
+	for c, id := range ids[1] {
+		for p := 0; p < h; p++ {
+			ep := t.AddEndpoint(fmt.Sprintf("ep(%s.%d)", coordString(c, h, n, false), p))
+			t.mustConnect(id, p, ep, 0)
+		}
+	}
+	return t
+}
+
+// pow computes integer b^e for small non-negative e.
+func pow(b, e int) int {
+	r := 1
+	for i := 0; i < e; i++ {
+		r *= b
+	}
+	return r
+}
+
+// digitAt extracts digit position i (1-based) from a flattened non-root
+// coordinate: digit 1 has radix 2h, digits 2..n-1 radix h, stored
+// big-endian (digit 1 most significant).
+func digitAt(coord, i, h, n int) int {
+	below := pow(h, n-1-i)
+	if i == 1 {
+		return coord / pow(h, n-2)
+	}
+	return coord / below % h
+}
+
+// withDigit returns the flattened coordinate with digit position i
+// (2-based positions only; digit 1 changes only at the root boundary)
+// replaced by v.
+func withDigit(coord, i, v, h, n int) int {
+	below := pow(h, n-1-i)
+	old := coord / below % h
+	return coord + (v-old)*below
+}
+
+// coordString renders a flattened coordinate's digits for labels.
+func coordString(coord, h, n int, root bool) string {
+	_ = root // digit 1's radix differs, but rendering is radix-agnostic
+	digits := make([]int, n-1)
+	rest := coord
+	below := pow(h, n-2)
+	digits[0] = rest / below
+	rest %= below
+	for i := 1; i < n-1; i++ {
+		below /= h
+		digits[i] = rest / below
+		rest %= below
+	}
+	s := ""
+	for i, d := range digits {
+		if i > 0 {
+			s += "."
+		}
+		s += fmt.Sprint(d)
+	}
+	return s
+}

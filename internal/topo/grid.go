@@ -1,0 +1,69 @@
+package topo
+
+import "fmt"
+
+// Grid port conventions for mesh/torus switches. Every grid switch is a
+// 16-port device (as in the paper's OPNET model); the first five ports
+// carry the four compass links and the local endpoint, the rest stay free
+// for hot-added devices.
+const (
+	// GridPorts is the switch radix used in meshes and tori.
+	GridPorts = 16
+	// PortEast..PortNorth are the compass ports.
+	PortEast  = 0
+	PortWest  = 1
+	PortSouth = 2
+	PortNorth = 3
+	// PortHost attaches the switch's local endpoint.
+	PortHost = 4
+)
+
+// Mesh builds a rows x cols 2-D mesh of 16-port switches with one endpoint
+// attached to each switch (so a 3x3 mesh has 9 switches and 9 endpoints,
+// matching Table 1).
+func Mesh(rows, cols int) *Topology {
+	return grid(fmt.Sprintf("%dx%d mesh", rows, cols), rows, cols, false)
+}
+
+// Torus builds a rows x cols 2-D torus: a mesh with wraparound links.
+func Torus(rows, cols int) *Topology {
+	return grid(fmt.Sprintf("%dx%d torus", rows, cols), rows, cols, true)
+}
+
+func grid(name string, rows, cols int, wrap bool) *Topology {
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("topo: grid %dx%d too small", rows, cols))
+	}
+	t := New(name)
+	sw := make([][]NodeID, rows)
+	for r := range sw {
+		sw[r] = make([]NodeID, cols)
+		for c := range sw[r] {
+			sw[r][c] = t.AddSwitch(GridPorts, fmt.Sprintf("sw(%d,%d)", r, c))
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			// East link (and wraparound on the last column). A 2-wide
+			// wrapped ring would duplicate the mesh link, so skip it.
+			if c+1 < cols {
+				t.mustConnect(sw[r][c], PortEast, sw[r][c+1], PortWest)
+			} else if wrap && cols > 2 {
+				t.mustConnect(sw[r][c], PortEast, sw[r][0], PortWest)
+			}
+			// South link (and wraparound on the last row).
+			if r+1 < rows {
+				t.mustConnect(sw[r][c], PortSouth, sw[r+1][c], PortNorth)
+			} else if wrap && rows > 2 {
+				t.mustConnect(sw[r][c], PortSouth, sw[0][c], PortNorth)
+			}
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			ep := t.AddEndpoint(fmt.Sprintf("ep(%d,%d)", r, c))
+			t.mustConnect(sw[r][c], PortHost, ep, 0)
+		}
+	}
+	return t
+}

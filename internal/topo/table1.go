@@ -1,0 +1,58 @@
+package topo
+
+import "fmt"
+
+// Spec identifies one topology from the paper's Table 1 together with its
+// expected device counts, which double as a regression check on the
+// generators.
+type Spec struct {
+	Name      string
+	Switches  int
+	Endpoints int
+	Build     func() *Topology
+}
+
+// Total returns the expected total device count.
+func (s Spec) Total() int { return s.Switches + s.Endpoints }
+
+// Table1 returns the paper's Table 1 catalogue of evaluated topologies, in
+// the paper's order: meshes and tori from 3x3 to 8x8, the 10x10 torus, and
+// the four fat-trees.
+func Table1() []Spec {
+	specs := []Spec{
+		{"3x3 mesh", 9, 9, func() *Topology { return Mesh(3, 3) }},
+		{"3x3 torus", 9, 9, func() *Topology { return Torus(3, 3) }},
+		{"4x4 mesh", 16, 16, func() *Topology { return Mesh(4, 4) }},
+		{"4x4 torus", 16, 16, func() *Topology { return Torus(4, 4) }},
+		{"6x6 mesh", 36, 36, func() *Topology { return Mesh(6, 6) }},
+		{"6x6 torus", 36, 36, func() *Topology { return Torus(6, 6) }},
+		{"8x8 mesh", 64, 64, func() *Topology { return Mesh(8, 8) }},
+		{"8x8 torus", 64, 64, func() *Topology { return Torus(8, 8) }},
+		{"10x10 torus", 100, 100, func() *Topology { return Torus(10, 10) }},
+		{"4-port 2-tree", 6, 8, func() *Topology { return FatTree(4, 2) }},
+		{"4-port 3-tree", 20, 16, func() *Topology { return FatTree(4, 3) }},
+		{"4-port 4-tree", 56, 32, func() *Topology { return FatTree(4, 4) }},
+		{"8-port 2-tree", 12, 32, func() *Topology { return FatTree(8, 2) }},
+	}
+	return specs
+}
+
+// ByName builds the named Table 1 topology.
+func ByName(name string) (*Topology, error) {
+	for _, s := range Table1() {
+		if s.Name == name {
+			return s.Build(), nil
+		}
+	}
+	return nil, fmt.Errorf("topo: unknown topology %q (see Table 1 names)", name)
+}
+
+// Names lists the Table 1 topology names in order.
+func Names() []string {
+	specs := Table1()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}

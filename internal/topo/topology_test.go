@@ -1,0 +1,260 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/asi"
+	"repro/internal/sim"
+)
+
+func TestConnectValidation(t *testing.T) {
+	tp := New("t")
+	a := tp.AddSwitch(4, "a")
+	b := tp.AddSwitch(4, "b")
+	if err := tp.Connect(a, 0, a, 1); err == nil {
+		t.Error("self-link accepted")
+	}
+	if err := tp.Connect(a, 0, NodeID(99), 0); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := tp.Connect(a, 4, b, 0); err == nil {
+		t.Error("out-of-range port accepted")
+	}
+	if err := tp.Connect(a, 0, b, 0); err != nil {
+		t.Fatalf("valid connect failed: %v", err)
+	}
+	if err := tp.Connect(a, 0, b, 1); err == nil {
+		t.Error("double-cabled port accepted")
+	}
+}
+
+func TestPeerSymmetry(t *testing.T) {
+	tp := New("t")
+	a := tp.AddSwitch(4, "a")
+	b := tp.AddSwitch(4, "b")
+	if err := tp.Connect(a, 2, b, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, p, ok := tp.Peer(a, 2); !ok || n != b || p != 3 {
+		t.Errorf("Peer(a,2) = (%d,%d,%v)", n, p, ok)
+	}
+	if n, p, ok := tp.Peer(b, 3); !ok || n != a || p != 2 {
+		t.Errorf("Peer(b,3) = (%d,%d,%v)", n, p, ok)
+	}
+	if _, _, ok := tp.Peer(a, 0); ok {
+		t.Error("uncabled port reports a peer")
+	}
+}
+
+func TestValidateCatchesBrokenTopologies(t *testing.T) {
+	// Disconnected.
+	tp := New("disc")
+	tp.AddSwitch(4, "a")
+	tp.AddSwitch(4, "b")
+	if err := tp.Validate(); err == nil {
+		t.Error("disconnected topology validated")
+	}
+	// Endpoint with no cable.
+	tp2 := New("dangling")
+	s := tp2.AddSwitch(4, "s")
+	e1 := tp2.AddEndpoint("e1")
+	tp2.AddEndpoint("e2")
+	if err := tp2.Connect(s, 0, e1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp2.Validate(); err == nil {
+		t.Error("dangling endpoint validated")
+	}
+	// Empty.
+	if err := New("empty").Validate(); err == nil {
+		t.Error("empty topology validated")
+	}
+}
+
+func TestMeshStructure(t *testing.T) {
+	m := Mesh(3, 3)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSwitches() != 9 || m.NumEndpoints() != 9 {
+		t.Errorf("3x3 mesh has %d switches, %d endpoints", m.NumSwitches(), m.NumEndpoints())
+	}
+	// Mesh links: 2*rows*cols - rows - cols switch links + one per endpoint.
+	wantLinks := 2*9 - 3 - 3 + 9
+	if len(m.Links) != wantLinks {
+		t.Errorf("3x3 mesh has %d links, want %d", len(m.Links), wantLinks)
+	}
+	// Corner switch (node 0) has exactly E, S and host cabled.
+	cabled := 0
+	for p := 0; p < GridPorts; p++ {
+		if _, _, ok := m.Peer(0, p); ok {
+			cabled++
+		}
+	}
+	if cabled != 3 {
+		t.Errorf("corner switch has %d cables, want 3", cabled)
+	}
+}
+
+func TestTorusStructure(t *testing.T) {
+	tr := Torus(4, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every switch in a torus has degree 4 (plus host).
+	for _, n := range tr.Nodes {
+		if n.Type != asi.DeviceSwitch {
+			continue
+		}
+		cabled := 0
+		for p := 0; p < n.Ports; p++ {
+			if _, _, ok := tr.Peer(n.ID, p); ok {
+				cabled++
+			}
+		}
+		if cabled != 5 {
+			t.Errorf("torus switch %s has %d cables, want 5", n.Label, cabled)
+		}
+	}
+	wantLinks := 2*16 + 16 // 2N wrap links + N host links
+	if len(tr.Links) != wantLinks {
+		t.Errorf("4x4 torus has %d links, want %d", len(tr.Links), wantLinks)
+	}
+}
+
+func TestTorusWidth2HasNoDuplicateWrap(t *testing.T) {
+	tr := Torus(2, 4)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Rows of height 2: vertical wrap would duplicate the mesh link, so
+	// vertical degree is 1, horizontal 2.
+	cabled := 0
+	for p := 0; p < GridPorts; p++ {
+		if _, _, ok := tr.Peer(0, p); ok {
+			cabled++
+		}
+	}
+	if cabled != 4 { // E, W, S, host
+		t.Errorf("2x4 torus corner switch has %d cables, want 4", cabled)
+	}
+}
+
+func TestFatTreeDegrees(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{4, 2}, {4, 3}, {4, 4}, {8, 2}, {8, 3}} {
+		ft := FatTree(c.m, c.n)
+		if err := ft.Validate(); err != nil {
+			t.Fatalf("%s: %v", ft.Name, err)
+		}
+		h := c.m / 2
+		wantEP := 2 * pow(h, c.n)
+		wantSW := (2*c.n - 1) * pow(h, c.n-1)
+		if ft.NumEndpoints() != wantEP || ft.NumSwitches() != wantSW {
+			t.Errorf("%s: %d switches %d endpoints, want %d/%d",
+				ft.Name, ft.NumSwitches(), ft.NumEndpoints(), wantSW, wantEP)
+		}
+		// Every switch port must be cabled in a fat-tree.
+		for _, n := range ft.Nodes {
+			for p := 0; p < n.Ports; p++ {
+				if _, _, ok := ft.Peer(n.ID, p); !ok {
+					t.Fatalf("%s: node %s port %d uncabled", ft.Name, n.Label, p)
+				}
+			}
+		}
+	}
+}
+
+func TestFatTreeRejectsBadParams(t *testing.T) {
+	for _, c := range []struct{ m, n int }{{3, 2}, {0, 2}, {4, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("FatTree(%d,%d) did not panic", c.m, c.n)
+				}
+			}()
+			FatTree(c.m, c.n)
+		}()
+	}
+}
+
+func TestGridRejectsTooSmall(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Mesh(1,5) did not panic")
+		}
+	}()
+	Mesh(1, 5)
+}
+
+func TestTable1CountsMatchPaper(t *testing.T) {
+	for _, s := range Table1() {
+		tp := s.Build()
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if tp.NumSwitches() != s.Switches || tp.NumEndpoints() != s.Endpoints {
+			t.Errorf("%s: built %d switches / %d endpoints, Table 1 says %d / %d",
+				s.Name, tp.NumSwitches(), tp.NumEndpoints(), s.Switches, s.Endpoints)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	tp, err := ByName("3x3 mesh")
+	if err != nil || tp.NumSwitches() != 9 {
+		t.Errorf("ByName: %v %v", tp, err)
+	}
+	if _, err := ByName("17x17 hypercube"); err == nil {
+		t.Error("unknown name accepted")
+	}
+	if len(Names()) != len(Table1()) {
+		t.Error("Names length mismatch")
+	}
+}
+
+func TestEndpointsList(t *testing.T) {
+	m := Mesh(3, 3)
+	eps := m.Endpoints()
+	if len(eps) != 9 {
+		t.Fatalf("Endpoints() returned %d", len(eps))
+	}
+	for _, id := range eps {
+		if m.Nodes[id].Type != asi.DeviceEndpoint {
+			t.Errorf("node %d is not an endpoint", id)
+		}
+	}
+}
+
+func TestRandomTopologyProperty(t *testing.T) {
+	f := func(seed uint64, n, extra uint8) bool {
+		nsw := int(n%20) + 2
+		tp := Random(nsw, int(extra%16), sim.NewRNG(seed))
+		return tp.Validate() == nil &&
+			tp.NumSwitches() == nsw && tp.NumEndpoints() == nsw
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReachableFromSubset(t *testing.T) {
+	tp := New("two-islands")
+	a := tp.AddSwitch(4, "a")
+	b := tp.AddSwitch(4, "b")
+	c := tp.AddSwitch(4, "c")
+	if err := tp.Connect(a, 0, b, 0); err != nil {
+		t.Fatal(err)
+	}
+	seen := tp.ReachableFrom(a)
+	if !seen[a] || !seen[b] || seen[c] {
+		t.Errorf("ReachableFrom = %v", seen)
+	}
+}
+
+func TestStringOutputs(t *testing.T) {
+	if Mesh(3, 3).String() == "" || Table1()[0].Total() != 18 {
+		t.Error("String/Total broken")
+	}
+}

@@ -1,0 +1,138 @@
+// Package trace records packet-level fabric events — injections, per-hop
+// transmissions, deliveries and drops — for debugging simulations and for
+// inspecting protocol behaviour (cmd/asidisc -trace). Recording is
+// optional: the fabric only pays for tracing when a recorder is attached.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/asi"
+	"repro/internal/sim"
+)
+
+// Kind classifies a traced event.
+type Kind int
+
+const (
+	// Inject: an endpoint put a packet into the fabric.
+	Inject Kind = iota
+	// Transmit: a device started serializing a packet onto a link.
+	Transmit
+	// Deliver: a device consumed a packet.
+	Deliver
+	// Drop: the fabric discarded a packet.
+	Drop
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Inject:
+		return "inject"
+	case Transmit:
+		return "tx"
+	case Deliver:
+		return "deliver"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one recorded fabric occurrence.
+type Event struct {
+	At     sim.Time
+	Kind   Kind
+	Device string
+	Port   int
+	PI     asi.PI
+	Bytes  int
+	Detail string
+}
+
+// String renders one trace line.
+func (e Event) String() string {
+	s := fmt.Sprintf("%-12v %-8s %-12s port=%-3d pi=%d %dB", e.At, e.Kind, e.Device, e.Port, e.PI, e.Bytes)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Recorder receives events as they happen.
+type Recorder interface {
+	Record(Event)
+}
+
+// Buffer is a capped in-memory recorder. The zero value is unbounded;
+// with Max set it keeps the first Max events and counts the rest.
+type Buffer struct {
+	Max     int
+	Events  []Event
+	Dropped int
+}
+
+// Record implements Recorder.
+func (b *Buffer) Record(e Event) {
+	if b.Max > 0 && len(b.Events) >= b.Max {
+		b.Dropped++
+		return
+	}
+	b.Events = append(b.Events, e)
+}
+
+// WriteText dumps the buffer as one line per event.
+func (b *Buffer) WriteText(w io.Writer) error {
+	for _, e := range b.Events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if b.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d further events not recorded (buffer cap %d)\n", b.Dropped, b.Max); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CountByKind tallies the recorded events.
+func (b *Buffer) CountByKind() map[Kind]int {
+	out := make(map[Kind]int, int(numKinds))
+	for _, e := range b.Events {
+		out[e.Kind]++
+	}
+	return out
+}
+
+// FilterPI returns a recorder that forwards only events for the given
+// protocol interface to next.
+func FilterPI(next Recorder, pi asi.PI) Recorder {
+	return filterFunc(func(e Event) {
+		if e.PI == pi {
+			next.Record(e)
+		}
+	})
+}
+
+// FilterKind returns a recorder that forwards only the given kinds.
+func FilterKind(next Recorder, kinds ...Kind) Recorder {
+	set := map[Kind]bool{}
+	for _, k := range kinds {
+		set[k] = true
+	}
+	return filterFunc(func(e Event) {
+		if set[e.Kind] {
+			next.Record(e)
+		}
+	})
+}
+
+type filterFunc func(Event)
+
+// Record implements Recorder.
+func (f filterFunc) Record(e Event) { f(e) }
