@@ -1,0 +1,29 @@
+# Tier-1 verification for the asifabric reproduction.
+#
+#   make          - build + vet + test (the default gate)
+#   make verify   - the full gate: build, vet, test, race-detector test
+#   make race     - go test -race ./...
+#   make bench    - simulated-metric benchmarks
+
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+verify: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem

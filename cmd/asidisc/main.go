@@ -7,6 +7,8 @@
 //	asidisc -topo "8x8 mesh" -alg parallel
 //	asidisc -topo "4-port 3-tree" -alg serial-packet -change remove -seed 3
 //	asidisc -topo "3x3 mesh" -alg serial-device -timeline
+//	asidisc -topo "4x4 mesh" -loss 1e-3 -retries 3
+//	asidisc -topo "4x4 mesh" -retries 3 -flap 0,50,100
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/experiment"
+	"repro/internal/fabric"
+	"repro/internal/sim"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -34,6 +38,20 @@ func parseAlg(s string) (core.Kind, error) {
 	default:
 		return 0, fmt.Errorf("unknown algorithm %q (serial-packet, serial-device, parallel, partial)", s)
 	}
+}
+
+// parseFlap parses "link,at_us,dur_us" into a scheduled link flap.
+func parseFlap(s string) (fabric.Flap, error) {
+	var link int
+	var atUS, durUS float64
+	if _, err := fmt.Sscanf(s, "%d,%g,%g", &link, &atUS, &durUS); err != nil {
+		return fabric.Flap{}, fmt.Errorf("bad -flap %q (want link,at_us,dur_us): %v", s, err)
+	}
+	return fabric.Flap{
+		Link:     link,
+		At:       sim.Time(sim.Micros(atUS)),
+		Duration: sim.Micros(durUS),
+	}, nil
 }
 
 func parseChange(s string) (experiment.Change, error) {
@@ -58,6 +76,10 @@ func main() {
 	devFactor := flag.Float64("dev-factor", 1, "device processing speed factor")
 	timeline := flag.Bool("timeline", false, "print the FM packet-processing timeline")
 	traceN := flag.Int("trace", 0, "record and print up to N packet-level fabric events")
+	loss := flag.Float64("loss", 0, "uniform per-link packet loss probability (0 = lossless)")
+	retries := flag.Int("retries", 0, "max timeout retries per request (0 = paper behaviour: fail immediately)")
+	backoffUS := flag.Float64("retry-backoff", 0, "base retry backoff in microseconds (0 = default 100us; doubles per attempt)")
+	flapSpec := flag.String("flap", "", "flap a link: \"link,at_us,dur_us\" (see -trace for link ids)")
 	flag.Parse()
 
 	kind, err := parseAlg(*alg)
@@ -83,6 +105,19 @@ func main() {
 		Seed:         *seed,
 		FMFactor:     *fmFactor,
 		DeviceFactor: *devFactor,
+		LossRate:     *loss,
+		MaxRetries:   *retries,
+		RetryBackoff: sim.Micros(*backoffUS),
+	}
+	if *flapSpec != "" {
+		flap, err := parseFlap(*flapSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		plan := fabric.Uniform(*loss)
+		plan.Flaps = append(plan.Flaps, flap)
+		spec.Faults = &plan
 	}
 	if *traceN > 0 {
 		buf = &trace.Buffer{Max: *traceN}
@@ -110,6 +145,15 @@ func main() {
 		out.Result.AvgFMProcessing().Microseconds(), out.Result.Processed)
 	if out.Result.TimedOut > 0 {
 		fmt.Printf("timeouts:        %d\n", out.Result.TimedOut)
+	}
+	if out.Result.Retries > 0 {
+		fmt.Printf("retries:         %d\n", out.Result.Retries)
+	}
+	if out.Result.GaveUp > 0 {
+		fmt.Printf("gave up:         %d\n", out.Result.GaveUp)
+	}
+	if out.Result.Stale > 0 {
+		fmt.Printf("stale replies:   %d\n", out.Result.Stale)
 	}
 	if *timeline {
 		fmt.Println("\npacket#  processed-at (s)")

@@ -42,6 +42,14 @@ type Options struct {
 	// active port is probed, duplicates resolved by DSN as in the
 	// ASI-SIG flow chart).
 	NoProbeMemo bool
+	// MaxRetries is how many times a timed-out PI-4 request is re-issued
+	// along the same path before the timeout becomes a terminal failure.
+	// Zero (the default) preserves the paper's lossless-fabric behaviour:
+	// the first timeout is final.
+	MaxRetries int
+	// RetryBackoff is the wait before the first re-issue; each further
+	// attempt doubles it, capped at 8x. Zero means 100us.
+	RetryBackoff sim.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -60,6 +68,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CoalesceDelay <= 0 {
 		o.CoalesceDelay = 25 * sim.Microsecond
+	}
+	if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 100 * sim.Microsecond
 	}
 	return o
 }
@@ -93,6 +107,11 @@ type request struct {
 	nports int
 	// timeout fires if no completion arrives.
 	timeout sim.EventID
+	// payload is the request payload, kept so a timed-out request can be
+	// re-issued verbatim (with a fresh tag) along the same path.
+	payload asi.PI4
+	// attempt counts re-issues: 0 for the original transmission.
+	attempt int
 }
 
 // workKind classifies FM processing work items.
@@ -184,6 +203,14 @@ type Manager struct {
 
 	// stale counts completions whose request had already timed out.
 	stale int
+
+	// runGen identifies the current discovery run; retry timers armed in
+	// an earlier run recognize themselves as orphaned and do nothing.
+	runGen uint64
+	// retryPending counts requests sitting in a backoff window: they are
+	// in neither pending nor queue, but the run must not finish under
+	// them.
+	retryPending int
 }
 
 // NewManager attaches a fabric manager to an endpoint device.
@@ -254,7 +281,14 @@ func (m *Manager) HandlePacket(port int, pkt *asi.Packet) {
 		m.res.BytesReceived += uint64(pkt.WireSize())
 		req, ok := m.pending[pl.Tag]
 		if !ok {
+			// A completion for a request that already timed out (and was
+			// possibly re-issued under a fresh tag). The retransmission's
+			// own completion is the one that counts; this one is dropped
+			// so the database never folds a response in twice.
 			m.stale++
+			if m.discovering {
+				m.res.Stale++
+			}
 			return
 		}
 		delete(m.pending, pl.Tag)
@@ -328,7 +362,9 @@ func (m *Manager) handleWork(w work) {
 		m.applyCompletion(w.req, w.pi4)
 	case wTimeout:
 		m.res.TimedOut++
-		m.applyFailure(w.req)
+		if !m.retryRequest(w.req) {
+			m.applyFailure(w.req)
+		}
 	case wEvent:
 		m.handleEvent(w.pi5)
 	case wSync:
@@ -400,6 +436,10 @@ func (m *Manager) applyCompletion(req *request, resp asi.PI4) {
 	case reqReadPort:
 		n := m.db.Node(req.dsn)
 		if n == nil {
+			// The device left the database between request and completion
+			// (partial-run pruning). The driver still must hear about the
+			// request, or the serial variants wait on it forever.
+			m.drv.onPort(req, nil, false)
 			return
 		}
 		count := req.nports
@@ -444,7 +484,8 @@ func (m *Manager) applyFailure(req *request) {
 	case reqProbeGeneral:
 		m.drv.onGeneral(req, nil, false, false)
 	case reqReadPort:
-		if n := m.db.Node(req.dsn); n != nil {
+		n := m.db.Node(req.dsn)
+		if n != nil {
 			count := req.nports
 			if count < 1 {
 				count = 1
@@ -453,8 +494,10 @@ func (m *Manager) applyFailure(req *request) {
 				n.PortKnown[req.port+k] = true
 				n.PortActive[req.port+k] = false
 			}
-			m.drv.onPort(req, n, false)
 		}
+		// Notify even with a nil node: the driver accounts outstanding
+		// port reads and would otherwise never finish.
+		m.drv.onPort(req, n, false)
 	case reqWrite:
 		m.onWriteDone(req, false)
 	case reqVerify:
@@ -470,12 +513,21 @@ func (m *Manager) applyFailure(req *request) {
 // It returns false when the path cannot be encoded (turn pool overflow) —
 // the device is unreachable by source routing from this FM.
 func (m *Manager) send(req *request, payload asi.PI4) bool {
+	req.payload = payload
+	return m.issue(req)
+}
+
+// issue puts one attempt of req on the wire: fresh tag, pending-table
+// entry, timeout, inject. Retransmissions re-enter here with the stored
+// payload and the same path.
+func (m *Manager) issue(req *request) bool {
 	hdr, err := route.Header(req.path, asi.PI4DeviceManagement)
 	if err != nil {
 		return false
 	}
 	req.tag = m.nextTag
 	m.nextTag++
+	payload := req.payload
 	payload.Tag = req.tag
 	pkt := &asi.Packet{Header: hdr, Payload: payload}
 	m.pending[req.tag] = req
@@ -495,6 +547,39 @@ func (m *Manager) send(req *request, payload asi.PI4) bool {
 		m.enqueue(work{kind: wTimeout, req: r})
 	})
 	m.dev.Inject(pkt)
+	return true
+}
+
+// retryRequest decides what a timeout means for req: another attempt with
+// backoff, or (attempts exhausted / retries disabled) a terminal failure.
+// It reports whether a retry was armed.
+func (m *Manager) retryRequest(req *request) bool {
+	if req.attempt >= m.opt.MaxRetries {
+		if m.opt.MaxRetries > 0 {
+			m.res.GaveUp++
+		}
+		return false
+	}
+	req.attempt++
+	m.res.Retries++
+	backoff := m.opt.RetryBackoff << (req.attempt - 1)
+	if max := m.opt.RetryBackoff * 8; backoff > max {
+		backoff = max
+	}
+	gen := m.runGen
+	m.retryPending++
+	m.e.After(backoff, func(*sim.Engine) {
+		if m.runGen != gen {
+			return // a new run started; this request belongs to the old one
+		}
+		m.retryPending--
+		if !m.issue(req) {
+			// The path stopped encoding (cannot normally happen: the
+			// original attempt encoded the same path); fail terminally.
+			m.applyFailure(req)
+		}
+		m.checkDone()
+	})
 	return true
 }
 
@@ -631,13 +716,16 @@ func (m *Manager) beginRun() {
 		m.e.Cancel(r.timeout)
 	}
 	m.pending = make(map[uint32]*request)
+	// Orphan any armed retry timers: their closures check runGen.
+	m.runGen++
+	m.retryPending = 0
 	m.res = Result{Algorithm: m.opt.Algorithm, Start: m.e.Now()}
 }
 
 // checkDone finishes the run when the driver is idle and nothing is in
 // flight or queued.
 func (m *Manager) checkDone() {
-	if !m.discovering || !m.drv.finished() || len(m.pending) != 0 {
+	if !m.discovering || !m.drv.finished() || len(m.pending) != 0 || m.retryPending > 0 {
 		return
 	}
 	for _, w := range m.queue {

@@ -32,8 +32,19 @@ type Result struct {
 	// their total cost; FMBusy/Processed is the paper's Fig. 4 metric.
 	Processed int
 	FMBusy    sim.Duration
-	// TimedOut counts requests that expired without completion.
+	// TimedOut counts request attempts that expired without completion.
 	TimedOut int
+	// Retries counts timed-out attempts that were re-issued under the
+	// retry policy (Options.MaxRetries).
+	Retries int
+	// GaveUp counts requests abandoned after exhausting every retry —
+	// each one is a potentially truncated subtree. Always zero when
+	// retries are disabled.
+	GaveUp int
+	// Stale counts completions that arrived after their request had timed
+	// out; under retries these are the originals outrun by their own
+	// retransmission.
+	Stale int
 	// Devices/Switches/Links summarize the resulting topology database.
 	Devices, Switches, Links int
 	// Timeline is the per-packet FM processing trace (Fig. 7a).

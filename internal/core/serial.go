@@ -101,14 +101,19 @@ func (d *serialDriver) sendNextPortRead() {
 }
 
 func (d *serialDriver) onPort(req *request, n *Node, ok bool) {
-	d.portsLeft--
-	if d.perDeviceParallel {
-		if d.portsLeft == 0 {
-			d.deviceDone()
-		}
+	if !d.perDeviceParallel {
+		// Serial Packet never tracks outstanding reads in portsLeft (it
+		// has exactly one in flight); decrementing here would drive the
+		// counter negative.
+		d.sendNextPortRead()
 		return
 	}
-	d.sendNextPortRead()
+	if d.portsLeft > 0 {
+		d.portsLeft--
+	}
+	if d.portsLeft == 0 {
+		d.deviceDone()
+	}
 }
 
 // deviceDone finishes the current device: enqueue exploration of every

@@ -63,6 +63,9 @@ func Runners() []Runner {
 		{"ext-traffic", "Extension: discovery under background application traffic", func(Opts) []Report {
 			return []Report{ExtTraffic()}
 		}},
+		{"ext-loss", "Extension: discovery under injected packet loss, with timeout retries", func(o Opts) []Report {
+			return []Report{ExtLoss(o.Seeds, o.Workers)}
+		}},
 		{"ext-failover", "Extension: primary FM failure and secondary takeover", func(Opts) []Report {
 			return []Report{ExtFailover()}
 		}},

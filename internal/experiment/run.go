@@ -58,6 +58,16 @@ type RunSpec struct {
 	DeviceFactor float64
 	Seed         uint64
 	Change       Change
+	// LossRate injects uniform per-link-traversal packet loss; zero
+	// means a lossless fabric, the paper's assumption.
+	LossRate float64
+	// Faults, when non-nil, overrides LossRate with a full fault plan
+	// (per-link rules, delays, flaps).
+	Faults *fabric.FaultPlan
+	// MaxRetries and RetryBackoff configure the FM's timeout-retry
+	// policy (core.Options); zero MaxRetries disables retries.
+	MaxRetries   int
+	RetryBackoff sim.Duration
 	// Trace optionally records packet-level fabric events for the run.
 	Trace trace.Recorder
 }
@@ -103,8 +113,24 @@ func Run(spec RunSpec) Outcome {
 	if spec.Trace != nil {
 		f.SetTracer(spec.Trace)
 	}
+	plan := fabric.FaultPlan{}
+	switch {
+	case spec.Faults != nil:
+		plan = *spec.Faults
+	case spec.LossRate > 0:
+		plan = fabric.Uniform(spec.LossRate)
+	}
+	if err := f.SetFaultPlan(plan); err != nil {
+		out.Err = err
+		return out
+	}
 	ep := f.Device(tp.Endpoints()[0])
-	m := core.NewManager(f, ep, core.Options{Algorithm: spec.Algorithm, FMFactor: spec.FMFactor})
+	m := core.NewManager(f, ep, core.Options{
+		Algorithm:    spec.Algorithm,
+		FMFactor:     spec.FMFactor,
+		MaxRetries:   spec.MaxRetries,
+		RetryBackoff: spec.RetryBackoff,
+	})
 
 	// Pick the changed switch up front (never the FM's host switch,
 	// which would cut the manager off entirely).
@@ -182,6 +208,10 @@ func Run(spec RunSpec) Outcome {
 		out.Result.BytesReceived += r.BytesReceived
 		out.Result.Processed += r.Processed
 		out.Result.FMBusy += r.FMBusy
+		out.Result.TimedOut += r.TimedOut
+		out.Result.Retries += r.Retries
+		out.Result.GaveUp += r.GaveUp
+		out.Result.Stale += r.Stale
 		out.Result.Devices = r.Devices
 		out.Result.Switches = r.Switches
 		out.Result.Links = r.Links

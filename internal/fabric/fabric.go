@@ -97,6 +97,8 @@ const (
 	// DropNoHandler: a management packet reached an endpoint with no
 	// attached management entity.
 	DropNoHandler
+	// DropFaultInjected: the installed FaultPlan discarded the packet.
+	DropFaultInjected
 	numDropReasons
 )
 
@@ -111,6 +113,8 @@ func (r DropReason) String() string {
 		return "route-error"
 	case DropNoHandler:
 		return "no-handler"
+	case DropFaultInjected:
+		return "fault-injected"
 	default:
 		return fmt.Sprintf("DropReason(%d)", int(r))
 	}
@@ -124,6 +128,10 @@ type Counters struct {
 	Delivered map[asi.PI]uint64
 	// Drops counts discarded packets by reason.
 	Drops [numDropReasons]uint64
+	// FaultDelays counts traversals the installed FaultPlan delivered
+	// late; LinkFlaps counts flap windows that actually took a link down.
+	FaultDelays uint64
+	LinkFlaps   uint64
 }
 
 // Handler is a management entity attached to an endpoint (a fabric
@@ -153,6 +161,7 @@ type Fabric struct {
 
 	counters Counters
 	tracer   trace.Recorder
+	faults   *faultState
 }
 
 // New instantiates the fabric described by t on the given engine. All
@@ -183,6 +192,7 @@ func New(e *sim.Engine, t *topo.Topology, cfg Config, rng *sim.RNG) (*Fabric, er
 	}
 	for _, l := range t.Links {
 		lk := newLink(f, f.devices[l.A], l.APort, f.devices[l.B], l.BPort)
+		lk.idx = len(f.links)
 		f.links = append(f.links, lk)
 		f.devices[l.A].ports[l.APort].link = lk
 		f.devices[l.B].ports[l.BPort].link = lk

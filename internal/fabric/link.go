@@ -13,6 +13,7 @@ import (
 // credit state.
 type link struct {
 	f     *Fabric
+	idx   int // topology link index, keys per-link fault rules
 	a, b  *Device
 	aPort int
 	bPort int
@@ -93,6 +94,9 @@ func (l *link) send(d *Device, pkt *asi.Packet) {
 		l.f.drop(DropInactivePort)
 		return
 	}
+	if l.f.faultDrop(l, d, pkt) {
+		return
+	}
 	h := &l.half[l.halfFrom(d)]
 	vc := l.f.vcOf(pkt)
 	h.queues[vc] = append(h.queues[vc], pkt)
@@ -135,7 +139,7 @@ func (l *link) kick(d *Device) {
 		l.f.counters.TxPackets++
 		l.f.counters.TxBytes += uint64(pkt.WireSize())
 		receiver, rxPort := l.otherEnd(d)
-		arrive := ser + l.f.cfg.Propagation
+		arrive := ser + l.f.cfg.Propagation + l.f.faultDelay(l)
 		vcCopy := asi.VCID(vc)
 		e.After(arrive, func(*sim.Engine) {
 			receiver.arrive(rxPort, vcCopy, pkt, l, dirIdx)

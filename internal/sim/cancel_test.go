@@ -1,0 +1,61 @@
+package sim
+
+import "testing"
+
+// TestCancelAfterFireIsNoOp pins the property the Manager's retry path
+// leans on: a completion that arrives after its request timed out cancels
+// a timeout event that has already fired, and that cancel must change
+// nothing — not the engine state, not other scheduled events.
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	id := e.After(5*Microsecond, func(*Engine) { fired++ })
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("event fired %d times, want 1", fired)
+	}
+	if e.Cancel(id) {
+		t.Error("Cancel after fire reported descheduling")
+	}
+	if e.Cancel(id) {
+		t.Error("second Cancel after fire reported descheduling")
+	}
+
+	// The retry pattern: a timeout fires and arms a retry; the stale
+	// completion then cancels the (already fired) timeout. The retry
+	// event must be untouched.
+	var seq []string
+	timeout := e.After(10*Microsecond, func(*Engine) { seq = append(seq, "timeout") })
+	e.After(20*Microsecond, func(*Engine) { seq = append(seq, "retry") })
+	e.RunUntil(e.Now().Add(15 * Microsecond))
+	if e.Cancel(timeout) {
+		t.Error("cancel of fired timeout reported descheduling")
+	}
+	e.Run()
+	if len(seq) != 2 || seq[0] != "timeout" || seq[1] != "retry" {
+		t.Errorf("sequence = %v, want [timeout retry]", seq)
+	}
+
+	// The zero EventID is likewise inert.
+	if e.Cancel(EventID{}) {
+		t.Error("zero EventID cancel reported descheduling")
+	}
+}
+
+// TestCancelBeforeFireStillWorks is the control: canceling a pending
+// event does deschedule it exactly once.
+func TestCancelBeforeFireStillWorks(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.After(Microsecond, func(*Engine) { fired = true })
+	if !e.Cancel(id) {
+		t.Error("cancel of pending event reported nothing to do")
+	}
+	if e.Cancel(id) {
+		t.Error("double cancel reported descheduling twice")
+	}
+	e.Run()
+	if fired {
+		t.Error("canceled event fired")
+	}
+}

@@ -24,6 +24,9 @@ const (
 	Deliver
 	// Drop: the fabric discarded a packet.
 	Drop
+	// Fault: the installed fault plan acted (link flap window opened or
+	// closed, delayed delivery).
+	Fault
 	numKinds
 )
 
@@ -38,6 +41,8 @@ func (k Kind) String() string {
 		return "deliver"
 	case Drop:
 		return "drop"
+	case Fault:
+		return "fault"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
