@@ -1,13 +1,19 @@
 # Tier-1 verification for the asifabric reproduction.
 #
 #   make          - build + vet + test (the default gate)
-#   make verify   - the full gate: build, vet, test, race-detector test
+#   make verify   - the full gate: build, vet, test, race-detector test,
+#                   1-iteration benchmark smoke
 #   make race     - go test -race ./...
-#   make bench    - simulated-metric benchmarks
+#   make bench    - figure + engine benchmarks -> BENCH_sim.json
+#                   (benchstat-compatible raw lines plus parsed metrics,
+#                   with results/bench_baseline.txt embedded as the
+#                   before/baseline section)
 
 GO ?= go
+BENCHTIME ?= 3x
+BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench
+.PHONY: all build vet test race verify bench bench-smoke
 
 all: build vet test
 
@@ -23,7 +29,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build vet test race
+# bench-smoke proves every benchmark still runs (one iteration each)
+# without paying for stable measurements; part of the verify gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > /dev/null
+
+verify: build vet test race bench-smoke
 
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/sim \
+		| $(GO) run ./cmd/benchjson -tee -baseline $(BENCH_BASELINE) -o BENCH_sim.json

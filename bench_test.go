@@ -35,6 +35,19 @@ func BenchmarkTable1Topologies(b *testing.B) {
 	}
 }
 
+// benchEvents accumulates Engine.Processed across discoverOnce calls so
+// benchmarks can report simulator throughput (events/s). Sub-benchmarks
+// run sequentially, so a plain counter suffices.
+var benchEvents uint64
+
+// reportEventsPerSec converts an event tally gathered during the timed
+// section into an events/s metric. Call after StopTimer.
+func reportEventsPerSec(b *testing.B, events uint64) {
+	if s := b.Elapsed().Seconds(); s > 0 && events > 0 {
+		b.ReportMetric(float64(events)/s, "events/s")
+	}
+}
+
 // discoverOnce runs one full discovery and returns its result.
 func discoverOnce(b *testing.B, topoName string, opt core.Options, devFactor float64) core.Result {
 	b.Helper()
@@ -52,6 +65,7 @@ func discoverOnce(b *testing.B, topoName string, opt core.Options, devFactor flo
 	m.OnDiscoveryComplete = func(r core.Result) { res = r }
 	m.StartDiscovery()
 	e.Run()
+	benchEvents += e.Processed
 	if res.Devices != len(tp.Nodes) {
 		b.Fatalf("%s: discovered %d of %d devices", topoName, res.Devices, len(tp.Nodes))
 	}
@@ -63,12 +77,16 @@ func discoverOnce(b *testing.B, topoName string, opt core.Options, devFactor flo
 func BenchmarkFig4ProcessingTime(b *testing.B) {
 	for _, kind := range core.PaperKinds() {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			benchEvents = 0
 			var avgUS float64
 			for i := 0; i < b.N; i++ {
 				res := discoverOnce(b, "6x6 mesh", core.Options{Algorithm: kind}, 1)
 				avgUS = res.AvgFMProcessing().Microseconds()
 			}
+			b.StopTimer()
 			b.ReportMetric(avgUS, "fm-us/pkt")
+			reportEventsPerSec(b, benchEvents)
 		})
 	}
 }
@@ -78,6 +96,8 @@ func BenchmarkFig4ProcessingTime(b *testing.B) {
 func BenchmarkFig6DiscoveryTime(b *testing.B) {
 	for _, kind := range core.PaperKinds() {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			experiment.TakeProcessedEvents()
 			var secs float64
 			var pkts float64
 			for i := 0; i < b.N; i++ {
@@ -91,8 +111,10 @@ func BenchmarkFig6DiscoveryTime(b *testing.B) {
 				secs = o.Result.Duration.Seconds()
 				pkts = float64(o.Result.PacketsSent)
 			}
+			b.StopTimer()
 			b.ReportMetric(secs, "sim-s/run")
 			b.ReportMetric(pkts, "pkts/run")
+			reportEventsPerSec(b, experiment.TakeProcessedEvents())
 		})
 	}
 }
@@ -102,6 +124,8 @@ func BenchmarkFig6DiscoveryTime(b *testing.B) {
 func BenchmarkFig7Timeline(b *testing.B) {
 	for _, kind := range core.PaperKinds() {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			benchEvents = 0
 			var last float64
 			for i := 0; i < b.N; i++ {
 				res := discoverOnce(b, "3x3 mesh", core.Options{Algorithm: kind}, 1)
@@ -110,7 +134,9 @@ func BenchmarkFig7Timeline(b *testing.B) {
 				}
 				last = res.Timeline[len(res.Timeline)-1].At.Seconds()
 			}
+			b.StopTimer()
 			b.ReportMetric(last, "sim-s/last-pkt")
+			reportEventsPerSec(b, benchEvents)
 		})
 	}
 }
@@ -129,13 +155,17 @@ func BenchmarkFig8Factors(b *testing.B) {
 	for _, c := range cases {
 		for _, kind := range core.PaperKinds() {
 			b.Run(c.name+"/"+kind.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				benchEvents = 0
 				var secs float64
 				for i := 0; i < b.N; i++ {
 					res := discoverOnce(b, "8x8 mesh",
 						core.Options{Algorithm: kind, FMFactor: c.fmF}, c.devF)
 					secs = res.Duration.Seconds()
 				}
+				b.StopTimer()
 				b.ReportMetric(secs, "sim-s/run")
+				reportEventsPerSec(b, benchEvents)
 			})
 		}
 	}
@@ -156,6 +186,8 @@ func BenchmarkFig9FactorCombos(b *testing.B) {
 	for _, c := range combos {
 		for _, kind := range []core.Kind{core.SerialPacket, core.Parallel} {
 			b.Run(c.name+"/"+kind.String(), func(b *testing.B) {
+				b.ReportAllocs()
+				experiment.TakeProcessedEvents()
 				var secs float64
 				for i := 0; i < b.N; i++ {
 					o := experiment.Run(experiment.RunSpec{
@@ -168,7 +200,9 @@ func BenchmarkFig9FactorCombos(b *testing.B) {
 					}
 					secs = o.Result.Duration.Seconds()
 				}
+				b.StopTimer()
 				b.ReportMetric(secs, "sim-s/run")
+				reportEventsPerSec(b, experiment.TakeProcessedEvents())
 			})
 		}
 	}

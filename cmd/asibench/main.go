@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/experiment"
 )
@@ -55,7 +56,18 @@ func main() {
 		}
 	}
 	for _, r := range runners {
-		for _, rep := range r.Run(opts) {
+		// Time each experiment and derive simulator throughput from the
+		// engine-processed event tally. Stderr keeps stdout
+		// machine-readable under -csv.
+		experiment.TakeProcessedEvents()
+		start := time.Now()
+		reports := r.Run(opts)
+		elapsed := time.Since(start)
+		events := experiment.TakeProcessedEvents()
+		fmt.Fprintf(os.Stderr, "%-16s %8.2fs wall  %12d events  %10.0f events/s\n",
+			r.ID, elapsed.Seconds(), events,
+			float64(events)/elapsed.Seconds())
+		for _, rep := range reports {
 			var err error
 			if *csv {
 				fmt.Printf("# %s: %s\n", rep.ID, rep.Title)

@@ -1,0 +1,171 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document suitable for machine comparison, while preserving the raw
+// benchstat-compatible lines verbatim.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_sim.json
+//	benchjson -baseline results/bench_baseline.txt -o BENCH_sim.json < bench.txt
+//
+// The -baseline flag parses a second benchmark text file (typically the
+// pre-optimization run committed under results/) into a "baseline"
+// section of the same shape, so BENCH_sim.json carries before/after
+// numbers side by side. With -tee the input text is echoed to stderr as
+// it streams, keeping interactive `make bench` output visible.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (sim-s/run, pkts/run,
+	// events/s, fm-us/pkt, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Suite is a parsed benchmark run: context lines plus results.
+type Suite struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Packages   []string    `json:"packages,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// Raw preserves the exact input lines; feeding them back to
+	// benchstat reproduces its analysis.
+	Raw []string `json:"raw"`
+}
+
+// Output is the document benchjson writes.
+type Output struct {
+	Current  Suite  `json:"current"`
+	Baseline *Suite `json:"baseline,omitempty"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "benchmark text file to embed as the before/baseline section")
+	out := flag.String("o", "", "output file (default stdout)")
+	tee := flag.Bool("tee", false, "echo input lines to stderr while parsing")
+	flag.Parse()
+
+	var echo io.Writer
+	if *tee {
+		echo = os.Stderr
+	}
+	cur, err := parse(os.Stdin, echo)
+	if err != nil {
+		fatal(err)
+	}
+	doc := Output{Current: cur}
+	if *baseline != "" {
+		f, err := os.Open(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		base, err := parse(f, nil)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		doc.Baseline = &base
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// parse reads `go test -bench` output. Unrecognized lines (PASS, ok,
+// FAIL, test logs) are kept in Raw but produce no Benchmark entry.
+func parse(r io.Reader, echo io.Writer) (Suite, error) {
+	var s Suite
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if echo != nil {
+			fmt.Fprintln(echo, line)
+		}
+		s.Raw = append(s.Raw, line)
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			s.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			s.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "cpu:"):
+			s.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "pkg:"):
+			s.Packages = append(s.Packages, strings.TrimSpace(strings.TrimPrefix(line, "pkg:")))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseResult(line); ok {
+				s.Benchmarks = append(s.Benchmarks, b)
+			}
+		}
+	}
+	return s, sc.Err()
+}
+
+// parseResult decodes one result line:
+//
+//	BenchmarkName-8   100   123 ns/op   45 B/op   6 allocs/op   7.8 sim-s/run
+func parseResult(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Runs: runs}
+	// The remainder is value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}

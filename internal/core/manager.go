@@ -112,6 +112,9 @@ type request struct {
 	payload asi.PI4
 	// attempt counts re-issues: 0 for the original transmission.
 	attempt int
+	// retryGen snapshots the run generation when a retry backoff is
+	// armed, so backoffs from a superseded run recognize themselves.
+	retryGen uint64
 }
 
 // workKind classifies FM processing work items.
@@ -165,8 +168,18 @@ type Manager struct {
 	pending map[uint32]*request
 	nextTag uint32
 
-	busy  bool
-	queue []work
+	// The FM software is a single serial processor: work items queue in
+	// a ring, the item in service parks in curWork, and its completion
+	// fires through the reusable workTimer — no closure per packet.
+	busy      bool
+	queue     sim.Ring[work]
+	curWork   work
+	curCost   sim.Duration
+	workTimer *sim.Timer
+	// timeoutFn/retryFn are the pre-bound callbacks for request timeout
+	// and retry-backoff events; the request itself rides as the event arg.
+	timeoutFn sim.ArgHandler
+	retryFn   sim.ArgHandler
 
 	discovering bool
 	partialRun  bool
@@ -226,6 +239,9 @@ func NewManager(f *fabric.Fabric, dev *fabric.Device, opt Options) *Manager {
 		pending: make(map[uint32]*request),
 		db:      NewDB(dev.DSN),
 	}
+	m.workTimer = m.e.NewTimer(m.completeWork)
+	m.timeoutFn = func(_ *sim.Engine, arg any) { m.onTimeout(arg.(*request)) }
+	m.retryFn = func(_ *sim.Engine, arg any) { m.onRetryBackoff(arg.(*request)) }
 	m.drv = m.newDriver()
 	dev.SetHandler(m)
 	return m
@@ -317,7 +333,7 @@ func (m *Manager) HandlePacket(port int, pkt *asi.Packet) {
 
 // enqueue adds a work item to the FM's serial processor.
 func (m *Manager) enqueue(w work) {
-	m.queue = append(m.queue, w)
+	m.queue.Push(w)
 	if !m.busy {
 		m.processNext()
 	}
@@ -326,30 +342,34 @@ func (m *Manager) enqueue(w work) {
 // processNext models the FM software: one packet at a time, each costing
 // the algorithm's processing time at the current database size.
 func (m *Manager) processNext() {
-	if len(m.queue) == 0 {
+	if m.queue.Len() == 0 {
 		m.busy = false
 		return
 	}
 	m.busy = true
-	w := m.queue[0]
-	m.queue = m.queue[1:]
-	var cost sim.Duration
-	switch w.kind {
+	m.curWork = m.queue.Pop()
+	switch m.curWork.kind {
 	case wEvent:
-		cost = m.opt.Cost.EventProcessing(m.opt.FMFactor)
+		m.curCost = m.opt.Cost.EventProcessing(m.opt.FMFactor)
 	default:
-		cost = m.opt.Cost.FMProcessing(m.opt.Algorithm, m.db.NumNodes(), m.opt.FMFactor)
+		m.curCost = m.opt.Cost.FMProcessing(m.opt.Algorithm, m.db.NumNodes(), m.opt.FMFactor)
 	}
-	m.e.After(cost, func(*sim.Engine) {
-		if m.discovering {
-			m.res.Processed++
-			m.res.FMBusy += cost
-			m.res.Timeline = append(m.res.Timeline, TimelinePoint{Index: m.res.Processed, At: m.e.Now()})
-		}
-		m.handleWork(w)
-		m.checkDone()
-		m.processNext()
-	})
+	m.workTimer.ScheduleAfter(m.curCost)
+}
+
+// completeWork finishes the work item in service when the FM processing
+// time elapses.
+func (m *Manager) completeWork(*sim.Engine) {
+	w := m.curWork
+	m.curWork = work{}
+	if m.discovering {
+		m.res.Processed++
+		m.res.FMBusy += m.curCost
+		m.res.Timeline = append(m.res.Timeline, TimelinePoint{Index: m.res.Processed, At: m.e.Now()})
+	}
+	m.handleWork(w)
+	m.checkDone()
+	m.processNext()
 }
 
 // handleWork interprets a processed work item.
@@ -533,21 +553,26 @@ func (m *Manager) issue(req *request) bool {
 	m.pending[req.tag] = req
 	m.res.PacketsSent++
 	m.res.BytesSent += uint64(pkt.WireSize())
-	tag := req.tag
 	window := m.opt.RequestTimeout
 	if req.kind == reqVerify {
 		window = m.opt.VerifyTimeout
 	}
-	req.timeout = m.e.After(window, func(*sim.Engine) {
-		r, ok := m.pending[tag]
-		if !ok {
-			return
-		}
-		delete(m.pending, tag)
-		m.enqueue(work{kind: wTimeout, req: r})
-	})
+	req.timeout = m.e.AfterArg(window, m.timeoutFn, req)
 	m.dev.Inject(pkt)
 	return true
+}
+
+// onTimeout expires an outstanding request. A completion that arrived
+// first cancels the timeout event outright, so firing here means the
+// request is genuinely still pending (the tag lookup guards the final
+// race: a completion processed in this very instant).
+func (m *Manager) onTimeout(req *request) {
+	r, ok := m.pending[req.tag]
+	if !ok || r != req {
+		return
+	}
+	delete(m.pending, req.tag)
+	m.enqueue(work{kind: wTimeout, req: r})
 }
 
 // retryRequest decides what a timeout means for req: another attempt with
@@ -566,21 +591,25 @@ func (m *Manager) retryRequest(req *request) bool {
 	if max := m.opt.RetryBackoff * 8; backoff > max {
 		backoff = max
 	}
-	gen := m.runGen
+	req.retryGen = m.runGen
 	m.retryPending++
-	m.e.After(backoff, func(*sim.Engine) {
-		if m.runGen != gen {
-			return // a new run started; this request belongs to the old one
-		}
-		m.retryPending--
-		if !m.issue(req) {
-			// The path stopped encoding (cannot normally happen: the
-			// original attempt encoded the same path); fail terminally.
-			m.applyFailure(req)
-		}
-		m.checkDone()
-	})
+	m.e.AfterArg(backoff, m.retryFn, req)
 	return true
+}
+
+// onRetryBackoff re-issues a timed-out request once its backoff window
+// elapses.
+func (m *Manager) onRetryBackoff(req *request) {
+	if m.runGen != req.retryGen {
+		return // a new run started; this request belongs to the old one
+	}
+	m.retryPending--
+	if !m.issue(req) {
+		// The path stopped encoding (cannot normally happen: the
+		// original attempt encoded the same path); fail terminally.
+		m.applyFailure(req)
+	}
+	m.checkDone()
 }
 
 // probe sends a general-information read through srcDSN's srcPort along
@@ -728,8 +757,8 @@ func (m *Manager) checkDone() {
 	if !m.discovering || !m.drv.finished() || len(m.pending) != 0 || m.retryPending > 0 {
 		return
 	}
-	for _, w := range m.queue {
-		if w.kind != wEvent {
+	for i := 0; i < m.queue.Len(); i++ {
+		if m.queue.At(i).kind != wEvent {
 			return
 		}
 	}

@@ -275,7 +275,7 @@ func TestParallelHasManyRequestsInFlight(t *testing.T) {
 	maxOutstanding := 0
 	m.StartDiscovery()
 	for e.Step() {
-		if n := len(m.pending) + len(m.queue); n > maxOutstanding {
+		if n := len(m.pending) + m.queue.Len(); n > maxOutstanding {
 			maxOutstanding = n
 		}
 	}

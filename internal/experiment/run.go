@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
@@ -90,11 +91,26 @@ type Outcome struct {
 	Initial core.Result
 	// Err reports a failed run (e.g. no PI-5 reached the FM).
 	Err error
+	// Events counts the simulation events the engine processed for this
+	// run (all phases: transient, change, assimilation). Together with
+	// wall-clock time it yields the simulator's events/sec throughput.
+	Events uint64
+}
+
+// totalEvents accumulates Engine.Processed across every Run, including
+// runs executing concurrently under RunAll's worker pool.
+var totalEvents atomic.Uint64
+
+// TakeProcessedEvents returns the number of simulation events processed
+// by all Runs since the previous call, and resets the tally. Reporting
+// layers (asibench, benchmarks) use it to derive aggregate events/sec.
+func TakeProcessedEvents() uint64 {
+	return totalEvents.Swap(0)
 }
 
 // Run executes one specification to completion.
-func Run(spec RunSpec) Outcome {
-	out := Outcome{Spec: spec}
+func Run(spec RunSpec) (out Outcome) {
+	out = Outcome{Spec: spec}
 	tp, err := topo.ByName(spec.Topology)
 	if err != nil {
 		out.Err = err
@@ -104,6 +120,10 @@ func Run(spec RunSpec) Outcome {
 	out.Switches = tp.NumSwitches()
 
 	e := sim.NewEngine()
+	defer func() {
+		out.Events = e.Processed
+		totalEvents.Add(e.Processed)
+	}()
 	rng := sim.NewRNG(spec.Seed*2654435761 + 1)
 	f, err := fabric.New(e, tp, fabric.Config{DeviceFactor: spec.DeviceFactor}, rng)
 	if err != nil {

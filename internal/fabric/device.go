@@ -27,9 +27,19 @@ type Device struct {
 
 	// PI-4 servicing is a single serial server per device, as profiled
 	// in the paper: requests queue and are serviced one at a time in
-	// T_Device each.
-	pi4Queue []pendingPI4
+	// T_Device each. The in-service request parks in pi4Cur and the
+	// completion fires through the reusable pi4Timer, so servicing never
+	// allocates a closure per request.
+	pi4Queue sim.Ring[pendingPI4]
 	pi4Busy  bool
+	pi4Cur   pendingPI4
+	pi4Timer *sim.Timer
+
+	// routeFn is the pre-bound cut-through routing callback; freeJobs
+	// pools the per-packet state it needs, so switch forwarding never
+	// allocates a closure per hop.
+	routeFn  sim.ArgHandler
+	freeJobs *routeJob
 
 	// electSeen deduplicates flooded election announcements.
 	electSeen map[electKey]bool
@@ -54,6 +64,17 @@ type pendingPI4 struct {
 	port int
 }
 
+// routeJob is the per-packet state of one deferred cut-through routing
+// decision, pooled on the device.
+type routeJob struct {
+	l      *link
+	dirIdx int
+	vc     asi.VCID
+	pkt    *asi.Packet
+	port   int
+	next   *routeJob
+}
+
 type electKey struct {
 	cand asi.DSN
 	seq  uint32
@@ -71,7 +92,7 @@ func newDevice(f *Fabric, n topo.Node) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("fabric: node %s: %w", n.Label, err)
 	}
-	return &Device{
+	d := &Device{
 		f:         f,
 		ID:        n.ID,
 		Type:      n.Type,
@@ -81,7 +102,15 @@ func newDevice(f *Fabric, n topo.Node) (*Device, error) {
 		ports:     make([]devPort, n.Ports),
 		alive:     true,
 		electSeen: make(map[electKey]bool),
-	}, nil
+	}
+	d.pi4Timer = f.Engine.NewTimer(func(*sim.Engine) {
+		if d.alive {
+			d.completePI4(d.pi4Cur)
+		}
+		d.startNextPI4()
+	})
+	d.routeFn = func(_ *sim.Engine, arg any) { d.routePending(arg.(*routeJob)) }
+	return d, nil
 }
 
 // Alive reports whether the device is powered and present in the fabric.
@@ -164,15 +193,31 @@ func (d *Device) arrive(port int, vc asi.VCID, pkt *asi.Packet, l *link, dirIdx 
 		d.consume(port, pkt)
 	case asi.DeviceSwitch:
 		// Cut-through routing decision after the header latency.
-		e.After(d.f.cfg.SwitchLatency, func(*sim.Engine) {
-			l.returnCredit(dirIdx, vc)
-			if !d.alive {
-				d.f.dropTraced(DropDeadDevice, d, port, pkt)
-				return
-			}
-			d.routeAtSwitch(port, pkt)
-		})
+		j := d.freeJobs
+		if j == nil {
+			j = &routeJob{}
+		} else {
+			d.freeJobs = j.next
+		}
+		j.l, j.dirIdx, j.vc, j.pkt, j.port = l, dirIdx, vc, pkt, port
+		e.AfterArg(d.f.cfg.SwitchLatency, d.routeFn, j)
 	}
+}
+
+// routePending completes a deferred cut-through routing decision: the
+// input buffer slot goes back to the sender and the packet is routed (or
+// dropped, if the switch died while the header was in flight).
+func (d *Device) routePending(j *routeJob) {
+	l, dirIdx, vc, pkt, port := j.l, j.dirIdx, j.vc, j.pkt, j.port
+	j.l, j.pkt = nil, nil
+	j.next = d.freeJobs
+	d.freeJobs = j
+	l.returnCredit(dirIdx, vc)
+	if !d.alive {
+		d.f.dropTraced(DropDeadDevice, d, port, pkt)
+		return
+	}
+	d.routeAtSwitch(port, pkt)
 }
 
 // routeAtSwitch applies turn-pool routing (or election flooding) to a
@@ -274,26 +319,20 @@ func (d *Device) consume(port int, pkt *asi.Packet) {
 // servicePI4 queues a PI-4 request on the device's serial config-space
 // server and starts it if idle.
 func (d *Device) servicePI4(p pendingPI4) {
-	d.pi4Queue = append(d.pi4Queue, p)
+	d.pi4Queue.Push(p)
 	if !d.pi4Busy {
 		d.startNextPI4()
 	}
 }
 
 func (d *Device) startNextPI4() {
-	if len(d.pi4Queue) == 0 {
+	if d.pi4Queue.Len() == 0 {
 		d.pi4Busy = false
 		return
 	}
 	d.pi4Busy = true
-	p := d.pi4Queue[0]
-	d.pi4Queue = d.pi4Queue[1:]
-	d.f.Engine.After(d.f.deviceService(), func(*sim.Engine) {
-		if d.alive {
-			d.completePI4(p)
-		}
-		d.startNextPI4()
-	})
+	d.pi4Cur = d.pi4Queue.Pop()
+	d.pi4Timer.ScheduleAfter(d.f.deviceService())
 }
 
 // completePI4 executes the request against the config space and sends the

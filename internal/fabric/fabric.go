@@ -274,6 +274,10 @@ func (f *Fabric) deviceService() sim.Duration {
 // costs nothing when detached.
 func (f *Fabric) SetTracer(t trace.Recorder) { f.tracer = t }
 
+// tracing reports whether a recorder is attached. Hot paths check it
+// before building event details, so detached tracing never formats.
+func (f *Fabric) tracing() bool { return f.tracer != nil }
+
 // traceEvent records a packet event if a tracer is attached.
 func (f *Fabric) traceEvent(kind trace.Kind, d *Device, port int, pkt *asi.Packet, detail string) {
 	if f.tracer == nil {

@@ -135,14 +135,18 @@ func (f *Fabric) SetFaultPlan(p FaultPlan) error {
 				return // already down (e.g. hot removal); nothing to flap
 			}
 			f.counters.LinkFlaps++
-			f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-down link=%d for=%v", fl.Link, fl.Duration))
+			if f.tracing() {
+				f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-down link=%d for=%v", fl.Link, fl.Duration))
+			}
 			lk.setUp(false)
 		})
 		f.Engine.At(fl.At.Add(fl.Duration), func(*sim.Engine) {
 			if lk.up {
 				return
 			}
-			f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-up link=%d", fl.Link))
+			if f.tracing() {
+				f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-up link=%d", fl.Link))
+			}
 			lk.setUp(true)
 		})
 	}

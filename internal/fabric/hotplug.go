@@ -26,14 +26,14 @@ func (f *Fabric) SetDeviceDown(id topo.NodeID, quiet bool) error {
 		return fmt.Errorf("fabric: device %s already down", d.Label)
 	}
 	d.alive = false
-	d.pi4Queue = nil
+	d.pi4Queue.Clear()
 	// Flush the dead device's own transmit queues; packets already on
 	// the wire stay in flight and die at arrival.
 	for p := range d.ports {
 		if lk := d.ports[p].link; lk != nil {
 			h := &lk.half[lk.halfFrom(d)]
 			for vc := range h.queues {
-				h.queues[vc] = nil
+				h.queues[vc].Clear()
 			}
 		}
 	}

@@ -1,8 +1,6 @@
 package fabric
 
 import (
-	"fmt"
-
 	"repro/internal/asi"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -24,19 +22,50 @@ type link struct {
 // halfLink is one direction of a link. Credits track the free receive
 // buffer slots per VC at the far end; the sender consumes one per packet
 // and the receiver returns it once the packet has left its input buffer.
+//
+// The transmit path is allocation-free in steady state: the VC queues are
+// rings, the two kick handlers are bound once at link construction, and
+// in-flight packets ride pooled flight records instead of per-packet
+// closures.
 type halfLink struct {
 	busyUntil sim.Time
-	kickArmed bool
-	queues    [asi.NumVCs][]*asi.Packet
+	queues    [asi.NumVCs]sim.Ring[*asi.Packet]
 	credits   [asi.NumVCs]int
+
+	// kickTimer re-runs the transmit scheduler when the serializer frees
+	// while packets wait; kickFn is the unconditional post-transmit kick.
+	kickTimer *sim.Timer
+	kickFn    sim.Handler
+	// deliverFn hands an arrived flight to the receiver; freeFlights is
+	// the pool it recycles through.
+	deliverFn   sim.ArgHandler
+	freeFlights *flight
+}
+
+// flight is one packet in transit on a half link: the per-packet state an
+// arrival event needs, pooled so sustained traffic schedules arrivals
+// without allocating.
+type flight struct {
+	pkt  *asi.Packet
+	vc   asi.VCID
+	next *flight
 }
 
 func newLink(f *Fabric, a *Device, aPort int, b *Device, bPort int) *link {
 	l := &link{f: f, a: a, aPort: aPort, b: b, bPort: bPort}
 	for i := range l.half {
-		for vc := range l.half[i].credits {
-			l.half[i].credits[vc] = f.cfg.CreditsPerVC
+		h := &l.half[i]
+		for vc := range h.credits {
+			h.credits[vc] = f.cfg.CreditsPerVC
 		}
+		dirIdx := i
+		sender := a
+		if dirIdx == 1 {
+			sender = b
+		}
+		h.kickFn = func(*sim.Engine) { l.kick(sender) }
+		h.kickTimer = f.Engine.NewTimer(h.kickFn)
+		h.deliverFn = func(_ *sim.Engine, arg any) { l.deliver(dirIdx, arg.(*flight)) }
 	}
 	return l
 }
@@ -80,7 +109,7 @@ func (l *link) setUp(up bool) {
 		for i := range l.half {
 			h := &l.half[i]
 			for vc := range h.queues {
-				h.queues[vc] = nil
+				h.queues[vc].Clear()
 				h.credits[vc] = l.f.cfg.CreditsPerVC
 			}
 		}
@@ -99,9 +128,13 @@ func (l *link) send(d *Device, pkt *asi.Packet) {
 	}
 	h := &l.half[l.halfFrom(d)]
 	vc := l.f.vcOf(pkt)
-	h.queues[vc] = append(h.queues[vc], pkt)
+	h.queues[vc].Push(pkt)
 	l.kick(d)
 }
+
+// vcDetails are the preformatted trace details for each virtual channel,
+// so tracing a transmit never formats on the fly.
+var vcDetails = [asi.NumVCs]string{"vc=0", "vc=1", "vc=2"}
 
 // kick runs the transmit scheduler for d's direction: while the serializer
 // is idle, pick the highest-priority VC with both a queued packet and a
@@ -113,12 +146,8 @@ func (l *link) kick(d *Device) {
 	dirIdx := l.halfFrom(d)
 	h := &l.half[dirIdx]
 	if h.busyUntil > e.Now() {
-		if !h.kickArmed {
-			h.kickArmed = true
-			e.At(h.busyUntil, func(*sim.Engine) {
-				h.kickArmed = false
-				l.kick(d)
-			})
+		if !h.kickTimer.Armed() {
+			h.kickTimer.ScheduleAt(h.busyUntil)
 		}
 		return
 	}
@@ -127,27 +156,47 @@ func (l *link) kick(d *Device) {
 	}
 	// Highest VC index first: VC2 is the management channel.
 	for vc := asi.NumVCs - 1; vc >= 0; vc-- {
-		if len(h.queues[vc]) == 0 || h.credits[vc] <= 0 {
+		if h.queues[vc].Len() == 0 || h.credits[vc] <= 0 {
 			continue
 		}
-		pkt := h.queues[vc][0]
-		h.queues[vc] = h.queues[vc][1:]
+		pkt := h.queues[vc].Pop()
 		h.credits[vc]--
-		l.f.traceEvent(trace.Transmit, d, l.portOf(d), pkt, fmt.Sprintf("vc=%d", vc))
+		if l.f.tracing() {
+			l.f.traceEvent(trace.Transmit, d, l.portOf(d), pkt, vcDetails[vc])
+		}
 		ser := l.f.serialization(pkt.WireSize())
 		h.busyUntil = e.Now().Add(ser)
 		l.f.counters.TxPackets++
 		l.f.counters.TxBytes += uint64(pkt.WireSize())
-		receiver, rxPort := l.otherEnd(d)
 		arrive := ser + l.f.cfg.Propagation + l.f.faultDelay(l)
-		vcCopy := asi.VCID(vc)
-		e.After(arrive, func(*sim.Engine) {
-			receiver.arrive(rxPort, vcCopy, pkt, l, dirIdx)
-		})
+		fl := h.freeFlights
+		if fl == nil {
+			fl = &flight{}
+		} else {
+			h.freeFlights = fl.next
+		}
+		fl.pkt = pkt
+		fl.vc = asi.VCID(vc)
+		e.AfterArg(arrive, h.deliverFn, fl)
 		// Serializer free again at busyUntil; try the next packet.
-		e.At(h.busyUntil, func(*sim.Engine) { l.kick(d) })
+		e.At(h.busyUntil, h.kickFn)
 		return
 	}
+}
+
+// deliver completes a flight: the record returns to the pool and the
+// packet arrives at the receiving device.
+func (l *link) deliver(dirIdx int, fl *flight) {
+	h := &l.half[dirIdx]
+	pkt, vc := fl.pkt, fl.vc
+	fl.pkt = nil
+	fl.next = h.freeFlights
+	h.freeFlights = fl
+	receiver, rxPort := l.b, l.bPort
+	if dirIdx == 1 {
+		receiver, rxPort = l.a, l.aPort
+	}
+	receiver.arrive(rxPort, vc, pkt, l, dirIdx)
 }
 
 // returnCredit hands a buffer slot back to the sender of the given

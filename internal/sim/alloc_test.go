@@ -1,0 +1,82 @@
+package sim
+
+import "testing"
+
+// Zero-allocation regression tests: the engine's steady-state hot path —
+// scheduling into a warmed arena, firing, canceling, timer reuse — must
+// not allocate. A regression here silently reintroduces per-event garbage
+// across every simulation in the repository.
+
+func TestSteadyStateScheduleFireZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	// Warm the arena and heap past their steady-state size.
+	for i := 0; i < 256; i++ {
+		e.After(Duration(i%17), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 64; i++ {
+			e.After(Duration(i%7), fn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule/fire allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestSteadyStateCancelZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	for i := 0; i < 256; i++ {
+		e.After(Duration(i%17), fn)
+	}
+	e.Run()
+	var ids [64]EventID
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := range ids {
+			ids[i] = e.After(Duration(i%13+1), fn)
+		}
+		for _, id := range ids {
+			e.Cancel(id)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule/cancel allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestTimerRescheduleZeroAlloc(t *testing.T) {
+	e := NewEngine()
+	tm := e.NewTimer(func(*Engine) {})
+	tm.ScheduleAfter(1)
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		tm.ScheduleAfter(1)
+		tm.ScheduleAfter(2) // reschedule while armed
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("timer reuse allocates %.1f per run, want 0", allocs)
+	}
+}
+
+func TestAfterArgZeroAlloc(t *testing.T) {
+	type payload struct{ n int }
+	e := NewEngine()
+	sink := 0
+	fn := func(_ *Engine, arg any) { sink += arg.(*payload).n }
+	p := &payload{n: 1}
+	e.AfterArg(1, fn, p)
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 16; i++ {
+			e.AfterArg(Duration(i+1), fn, p)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("AfterArg with pointer arg allocates %.1f per run, want 0", allocs)
+	}
+}

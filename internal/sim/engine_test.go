@@ -233,14 +233,3 @@ func TestEngineCausalityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
-
-func BenchmarkEngineScheduleRun(b *testing.B) {
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e := NewEngine()
-		for j := 0; j < 1000; j++ {
-			e.At(Time(j%97), func(*Engine) {})
-		}
-		e.Run()
-	}
-}

@@ -1,0 +1,270 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// Differential tests: the specialized 4-ary arena heap must fire events in
+// exactly the order a naive reference queue (a sorted slice over (at, seq))
+// produces, under randomized schedule/cancel/reschedule workloads. This
+// pins the determinism contract the simulated metrics depend on.
+
+// refQueue is the obviously-correct reference: a slice kept sorted by
+// (at, seq), with physical removal on cancel.
+type refQueue struct {
+	events []refEvent
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+func (q *refQueue) schedule(at Time, seq uint64, id int) {
+	q.events = append(q.events, refEvent{at: at, seq: seq, id: id})
+	sort.Slice(q.events, func(i, j int) bool {
+		if q.events[i].at != q.events[j].at {
+			return q.events[i].at < q.events[j].at
+		}
+		return q.events[i].seq < q.events[j].seq
+	})
+}
+
+func (q *refQueue) cancel(id int) bool {
+	for i, ev := range q.events {
+		if ev.id == id {
+			q.events = append(q.events[:i], q.events[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (q *refQueue) drainOrder() []int {
+	var order []int
+	for _, ev := range q.events {
+		order = append(order, ev.id)
+	}
+	q.events = nil
+	return order
+}
+
+// popThrough removes and returns the ids of all events with at <= deadline.
+func (q *refQueue) popThrough(deadline Time) []int {
+	var order []int
+	i := 0
+	for ; i < len(q.events) && q.events[i].at <= deadline; i++ {
+		order = append(order, q.events[i].id)
+	}
+	q.events = q.events[i:]
+	return order
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQueueDifferentialDrain drives random schedule/cancel workloads into
+// the engine and the reference queue, then drains both and compares the
+// exact firing order.
+func TestQueueDifferentialDrain(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := NewRNG(seed)
+		e := NewEngine()
+		ref := &refQueue{}
+
+		var got []int
+		ids := make(map[int]EventID) // live engine events by test id
+		var live []int
+		nextID := 0
+
+		ops := 200 + rng.Intn(300)
+		for op := 0; op < ops; op++ {
+			switch {
+			case len(live) > 0 && rng.Intn(4) == 0: // cancel a live event
+				k := rng.Intn(len(live))
+				id := live[k]
+				live = append(live[:k], live[k+1:]...)
+				engOK := e.Cancel(ids[id])
+				refOK := ref.cancel(id)
+				if engOK != refOK {
+					t.Fatalf("seed %d: cancel(%d) engine=%v ref=%v", seed, id, engOK, refOK)
+				}
+				delete(ids, id)
+			default: // schedule; deliberate tie-heavy time distribution
+				at := Time(rng.Intn(50))
+				id := nextID
+				nextID++
+				seq := e.nextSeq
+				id2 := id
+				ids[id] = e.At(at, func(*Engine) { got = append(got, id2) })
+				ref.schedule(at, seq, id)
+				live = append(live, id)
+			}
+		}
+		e.Run()
+		want := ref.drainOrder()
+		if !intsEqual(got, want) {
+			t.Fatalf("seed %d: firing order diverged\n got %v\nwant %v", seed, got, want)
+		}
+	}
+}
+
+// TestQueueDifferentialInterleaved interleaves partial draining (RunUntil
+// at increasing deadlines) with further scheduling and cancellation, so
+// removal and refill churn the heap mid-run.
+func TestQueueDifferentialInterleaved(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		rng := NewRNG(seed ^ 0xa5a5)
+		e := NewEngine()
+		ref := &refQueue{}
+
+		var got []int
+		ids := make(map[int]EventID)
+		var live []int
+		nextID := 0
+		now := Time(0)
+
+		for round := 0; round < 20; round++ {
+			n := 1 + rng.Intn(30)
+			for i := 0; i < n; i++ {
+				switch {
+				case len(live) > 0 && rng.Intn(3) == 0:
+					k := rng.Intn(len(live))
+					id := live[k]
+					live = append(live[:k], live[k+1:]...)
+					if e.Cancel(ids[id]) != ref.cancel(id) {
+						t.Fatalf("seed %d: cancel(%d) diverged", seed, id)
+					}
+					delete(ids, id)
+				default:
+					at := now + Time(rng.Intn(40))
+					id := nextID
+					nextID++
+					seq := e.nextSeq
+					id2 := id
+					ids[id] = e.At(at, func(*Engine) { got = append(got, id2) })
+					ref.schedule(at, seq, id)
+					live = append(live, id)
+				}
+			}
+			now += Time(10 + rng.Intn(20))
+			got = got[:0]
+			e.RunUntil(now)
+			want := ref.popThrough(now)
+			if !intsEqual(got, want) {
+				t.Fatalf("seed %d round %d: firing order diverged\n got %v\nwant %v", seed, round, got, want)
+			}
+			for _, id := range want {
+				delete(ids, id)
+				for k, v := range live {
+					if v == id {
+						live = append(live[:k], live[k+1:]...)
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTimerRescheduleMatchesCancelPlusSchedule pins the Timer equivalence:
+// rescheduling an armed timer behaves exactly like canceling the pending
+// firing and scheduling anew (fresh seq, so it loses ties against events
+// scheduled before the reschedule).
+func TestTimerRescheduleMatchesCancelPlusSchedule(t *testing.T) {
+	var order []string
+	e := NewEngine()
+	tm := e.NewTimer(func(*Engine) { order = append(order, "timer") })
+	tm.ScheduleAt(10)
+	e.At(20, func(*Engine) { order = append(order, "a") })
+	tm.ScheduleAt(20) // cancels the firing at 10; new seq after "a"
+	e.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "timer" {
+		t.Fatalf("order = %v, want [a timer]", order)
+	}
+	if tm.Armed() {
+		t.Error("timer still armed after firing")
+	}
+}
+
+func TestTimerStopAndRearm(t *testing.T) {
+	fired := 0
+	e := NewEngine()
+	tm := e.NewTimer(func(*Engine) { fired++ })
+	tm.ScheduleAfter(5)
+	if !tm.Armed() {
+		t.Fatal("timer not armed after schedule")
+	}
+	if !tm.Stop() {
+		t.Fatal("Stop of armed timer reported nothing to do")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported descheduling")
+	}
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("stopped timer fired %d times", fired)
+	}
+	tm.ScheduleAfter(5)
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("rearmed timer fired %d times, want 1", fired)
+	}
+}
+
+// TestEventIDStaleAcrossSlotReuse pins the generation stamping: an ID for
+// a fired event must stay inert even after its arena slot is recycled by
+// a new event.
+func TestEventIDStaleAcrossSlotReuse(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func(*Engine) {})
+	e.Run()
+	fired := false
+	e.At(2, func(*Engine) { fired = true }) // recycles the freed slot
+	if e.Cancel(stale) {
+		t.Fatal("stale EventID canceled a recycled slot's event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// TestMassCancelShrinksQueue pins the tombstone-free property: canceling
+// physically removes, so Pending drops immediately (the FM retry layer
+// cancels timeouts en masse between runs).
+func TestMassCancelShrinksQueue(t *testing.T) {
+	e := NewEngine()
+	var ids []EventID
+	for i := 0; i < 1000; i++ {
+		ids = append(ids, e.At(Time(i+1), func(*Engine) {}))
+	}
+	for _, id := range ids[:900] {
+		if !e.Cancel(id) {
+			t.Fatal("cancel of live event failed")
+		}
+	}
+	if got := e.Pending(); got != 100 {
+		t.Fatalf("Pending after mass cancel = %d, want 100", got)
+	}
+	fired := 0
+	e.At(2000, func(*Engine) { fired++ })
+	e.Run()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after drain = %d", e.Pending())
+	}
+	if fired != 1 {
+		t.Fatal("post-cancel scheduling broken")
+	}
+}

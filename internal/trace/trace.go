@@ -83,9 +83,16 @@ type Buffer struct {
 
 // Record implements Recorder.
 func (b *Buffer) Record(e Event) {
-	if b.Max > 0 && len(b.Events) >= b.Max {
-		b.Dropped++
-		return
+	if b.Max > 0 {
+		if len(b.Events) >= b.Max {
+			b.Dropped++
+			return
+		}
+		if b.Events == nil {
+			// A capped buffer holds at most Max events; reserve them all
+			// up front instead of regrowing on the recording hot path.
+			b.Events = make([]Event, 0, b.Max)
+		}
 	}
 	b.Events = append(b.Events, e)
 }
@@ -126,12 +133,14 @@ func FilterPI(next Recorder, pi asi.PI) Recorder {
 
 // FilterKind returns a recorder that forwards only the given kinds.
 func FilterKind(next Recorder, kinds ...Kind) Recorder {
-	set := map[Kind]bool{}
+	var set [numKinds]bool
 	for _, k := range kinds {
-		set[k] = true
+		if k >= 0 && k < numKinds {
+			set[k] = true
+		}
 	}
 	return filterFunc(func(e Event) {
-		if set[e.Kind] {
+		if e.Kind >= 0 && e.Kind < numKinds && set[e.Kind] {
 			next.Record(e)
 		}
 	})
