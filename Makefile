@@ -1,8 +1,9 @@
 # Tier-1 verification for the asifabric reproduction.
 #
 #   make          - build + vet + test (the default gate)
-#   make verify   - the full gate: build, vet, test, race-detector test,
-#                   1-iteration benchmark smoke
+#   make verify   - the full gate: gofmt check, build, vet, test,
+#                   race-detector test, 1-iteration benchmark smoke,
+#                   JSON run-report schema smoke
 #   make race     - go test -race ./...
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
 #                   (benchstat-compatible raw lines plus parsed metrics,
@@ -13,7 +14,7 @@ GO ?= go
 BENCHTIME ?= 3x
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke
+.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke
 
 all: build vet test
 
@@ -34,7 +35,17 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./... > /dev/null
 
-verify: build vet test race bench-smoke
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# json-smoke proves the machine-readable pipeline end to end: a telemetry
+# run's report must decode against the run-report schema.
+json-smoke:
+	$(GO) run ./cmd/asidisc -topo "3x3 mesh" -alg parallel -telemetry -json \
+		| $(GO) run ./cmd/reportjson > /dev/null
+
+verify: fmt-check build vet test race bench-smoke json-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/sim \

@@ -1,6 +1,6 @@
 // Command asibench regenerates every table and figure of the paper's
 // evaluation (section 4) plus the future-work extension experiments, as
-// aligned text tables or CSV.
+// aligned text tables, CSV, or one machine-readable JSON document.
 //
 // Usage:
 //
@@ -8,11 +8,16 @@
 //	asibench -exp fig6        # one experiment (see -list)
 //	asibench -seeds 8         # more repetitions per change scenario
 //	asibench -csv             # machine-readable output
+//	asibench -json            # one run-report JSON envelope on stdout
+//	asibench -debug :6060     # serve net/http/pprof and expvar while running
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
@@ -20,13 +25,19 @@ import (
 	"repro/internal/experiment"
 )
 
+// benchEvents exposes the cumulative processed-event tally on the -debug
+// endpoint, next to the memstats expvar publishes by default.
+var benchEvents = expvar.NewInt("asibench.events")
+
 func main() {
 	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
 	seeds := flag.Int("seeds", 4, "repetitions of each change scenario")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "emit one machine-readable run-report envelope on stdout")
 	outDir := flag.String("o", "", "also write one .txt (and .csv) file per report into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	debugAddr := flag.String("debug", "", "serve net/http/pprof and expvar on this address while running (e.g. :6060)")
 	flag.Parse()
 
 	if *list {
@@ -34,6 +45,17 @@ func main() {
 			fmt.Printf("%-16s %s\n", r.ID, r.Desc)
 		}
 		return
+	}
+
+	if *debugAddr != "" {
+		// DefaultServeMux already carries /debug/pprof/ (net/http/pprof)
+		// and /debug/vars (expvar) from their package imports.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/pprof and /debug/vars\n", *debugAddr)
 	}
 
 	opts := experiment.Opts{Seeds: *seeds, Workers: *workers}
@@ -55,25 +77,36 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	var (
+		all         []experiment.Report
+		totalEvents uint64
+		totalWall   time.Duration
+	)
 	for _, r := range runners {
 		// Time each experiment and derive simulator throughput from the
 		// engine-processed event tally. Stderr keeps stdout
-		// machine-readable under -csv.
+		// machine-readable under -csv and -json.
 		experiment.TakeProcessedEvents()
 		start := time.Now()
 		reports := r.Run(opts)
 		elapsed := time.Since(start)
 		events := experiment.TakeProcessedEvents()
+		totalEvents += events
+		totalWall += elapsed
+		benchEvents.Add(int64(events))
 		fmt.Fprintf(os.Stderr, "%-16s %8.2fs wall  %12d events  %10.0f events/s\n",
 			r.ID, elapsed.Seconds(), events,
 			float64(events)/elapsed.Seconds())
 		for _, rep := range reports {
 			var err error
-			if *csv {
+			switch {
+			case *jsonOut:
+				all = append(all, rep)
+			case *csv:
 				fmt.Printf("# %s: %s\n", rep.ID, rep.Title)
 				err = rep.CSV(os.Stdout)
 				fmt.Println()
-			} else {
+			default:
 				err = rep.Render(os.Stdout)
 			}
 			if err == nil && *outDir != "" {
@@ -83,6 +116,17 @@ func main() {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
+		}
+	}
+	if *jsonOut {
+		rr := experiment.NewReportsJSON(all)
+		rr.Events = totalEvents
+		if totalWall > 0 {
+			rr.EventsPerSec = float64(totalEvents) / totalWall.Seconds()
+		}
+		if err := rr.JSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -9,6 +9,7 @@
 //	asidisc -topo "3x3 mesh" -alg serial-device -timeline
 //	asidisc -topo "4x4 mesh" -loss 1e-3 -retries 3
 //	asidisc -topo "4x4 mesh" -retries 3 -flap 0,50,100
+//	asidisc -topo "3x3 mesh" -telemetry -json   # machine-readable run report
 package main
 
 import (
@@ -17,60 +18,17 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/cli"
 	"repro/internal/experiment"
 	"repro/internal/fabric"
 	"repro/internal/sim"
-	"repro/internal/topo"
 	"repro/internal/trace"
 )
 
-func parseAlg(s string) (core.Kind, error) {
-	switch strings.ToLower(s) {
-	case "serial-packet", "sp":
-		return core.SerialPacket, nil
-	case "serial-device", "sd":
-		return core.SerialDevice, nil
-	case "parallel", "p":
-		return core.Parallel, nil
-	case "partial":
-		return core.Partial, nil
-	default:
-		return 0, fmt.Errorf("unknown algorithm %q (serial-packet, serial-device, parallel, partial)", s)
-	}
-}
-
-// parseFlap parses "link,at_us,dur_us" into a scheduled link flap.
-func parseFlap(s string) (fabric.Flap, error) {
-	var link int
-	var atUS, durUS float64
-	if _, err := fmt.Sscanf(s, "%d,%g,%g", &link, &atUS, &durUS); err != nil {
-		return fabric.Flap{}, fmt.Errorf("bad -flap %q (want link,at_us,dur_us): %v", s, err)
-	}
-	return fabric.Flap{
-		Link:     link,
-		At:       sim.Time(sim.Micros(atUS)),
-		Duration: sim.Micros(durUS),
-	}, nil
-}
-
-func parseChange(s string) (experiment.Change, error) {
-	switch strings.ToLower(s) {
-	case "none":
-		return experiment.NoChange, nil
-	case "remove":
-		return experiment.RemoveSwitch, nil
-	case "add":
-		return experiment.AddSwitch, nil
-	default:
-		return 0, fmt.Errorf("unknown change %q (none, remove, add)", s)
-	}
-}
-
 func main() {
 	topoName := flag.String("topo", "3x3 mesh", "topology name (see asitopo -list)")
-	alg := flag.String("alg", "parallel", "discovery algorithm: serial-packet, serial-device, parallel, partial")
-	change := flag.String("change", "none", "topological change: none, remove, add")
+	alg := flag.String("alg", "parallel", "discovery algorithm: "+strings.Join(cli.AlgorithmNames(), ", "))
+	change := flag.String("change", "none", "topological change: "+strings.Join(cli.ChangeNames(), ", "))
 	seed := flag.Uint64("seed", 1, "random seed (selects the changed switch)")
 	fmFactor := flag.Float64("fm-factor", 1, "FM processing speed factor")
 	devFactor := flag.Float64("dev-factor", 1, "device processing speed factor")
@@ -80,53 +38,67 @@ func main() {
 	retries := flag.Int("retries", 0, "max timeout retries per request (0 = paper behaviour: fail immediately)")
 	backoffUS := flag.Float64("retry-backoff", 0, "base retry backoff in microseconds (0 = default 100us; doubles per attempt)")
 	flapSpec := flag.String("flap", "", "flap a link: \"link,at_us,dur_us\" (see -trace for link ids)")
+	tele := flag.Bool("telemetry", false, "collect run telemetry (per-phase FM histograms, fabric counters)")
+	jsonOut := flag.Bool("json", false, "emit a machine-readable run report on stdout")
 	flag.Parse()
 
-	kind, err := parseAlg(*alg)
-	if err != nil {
+	fail := func(code int, err error) {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		os.Exit(code)
 	}
-	ch, err := parseChange(*change)
+	kind, err := cli.Algorithm(*alg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(2, err)
 	}
-	if _, err := topo.ByName(*topoName); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	ch, err := cli.Change(*change)
+	if err != nil {
+		fail(2, err)
+	}
+	if _, err := cli.Topology(*topoName); err != nil {
+		fail(2, err)
 	}
 
-	var buf *trace.Buffer
-	spec := experiment.RunSpec{
-		Topology:     *topoName,
-		Algorithm:    kind,
-		Change:       ch,
-		Seed:         *seed,
-		FMFactor:     *fmFactor,
-		DeviceFactor: *devFactor,
-		LossRate:     *loss,
-		MaxRetries:   *retries,
-		RetryBackoff: sim.Micros(*backoffUS),
+	opts := []experiment.Option{
+		experiment.WithSeed(*seed),
+		experiment.WithChange(ch),
+		experiment.WithFactors(*fmFactor, *devFactor),
+		experiment.WithLoss(*loss),
+		experiment.WithRetries(*retries, sim.Micros(*backoffUS)),
 	}
 	if *flapSpec != "" {
-		flap, err := parseFlap(*flapSpec)
+		flap, err := cli.Flap(*flapSpec)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fail(2, err)
 		}
 		plan := fabric.Uniform(*loss)
 		plan.Flaps = append(plan.Flaps, flap)
-		spec.Faults = &plan
+		opts = append(opts, experiment.WithFaults(&plan))
 	}
+	var buf *trace.Buffer
 	if *traceN > 0 {
 		buf = &trace.Buffer{Max: *traceN}
-		spec.Trace = buf
+		opts = append(opts, experiment.WithTrace(buf))
 	}
-	out := experiment.Run(spec)
+	if *tele {
+		opts = append(opts, experiment.WithTelemetry())
+	}
+	cfg, err := experiment.NewConfig(*topoName, kind, opts...)
+	if err != nil {
+		fail(2, err)
+	}
+	out := experiment.RunConfig(cfg)
+
+	if *jsonOut {
+		if err := experiment.NewRunReport(out).JSON(os.Stdout); err != nil {
+			fail(1, err)
+		}
+		if out.Err != nil {
+			os.Exit(1)
+		}
+		return
+	}
 	if out.Err != nil {
-		fmt.Fprintln(os.Stderr, out.Err)
-		os.Exit(1)
+		fail(1, out.Err)
 	}
 
 	fmt.Printf("topology:        %s (%d devices, %d switches)\n", *topoName, out.PhysicalNodes, out.Switches)
@@ -155,6 +127,9 @@ func main() {
 	if out.Result.Stale > 0 {
 		fmt.Printf("stale replies:   %d\n", out.Result.Stale)
 	}
+	if out.Telemetry != nil {
+		printTelemetry(out)
+	}
 	if *timeline {
 		fmt.Println("\npacket#  processed-at (s)")
 		for _, p := range out.Result.Timeline {
@@ -164,8 +139,33 @@ func main() {
 	if buf != nil {
 		fmt.Println("\nfabric trace:")
 		if err := buf.WriteText(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fail(1, err)
 		}
+	}
+}
+
+// printTelemetry summarizes the run's metric snapshot as text; the full
+// detail (bucket counts, per-link vectors) is available under -json.
+func printTelemetry(out experiment.Outcome) {
+	s := out.Telemetry
+	fmt.Println("\ntelemetry:")
+	for _, c := range s.Counters {
+		if c.Value > 0 {
+			fmt.Printf("  %-28s %d\n", c.Name, c.Value)
+		}
+	}
+	for _, g := range s.Gauges {
+		fmt.Printf("  %-28s %d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		mean := float64(h.Sum) / float64(h.Count)
+		fmt.Printf("  %-28s n=%-6d mean=%.3fus min=%.3fus max=%.3fus\n",
+			h.Name, h.Count,
+			sim.Duration(mean).Microseconds(),
+			sim.Duration(h.Min).Microseconds(),
+			sim.Duration(h.Max).Microseconds())
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"repro/internal/asi"
+	"repro/internal/cli"
 	"repro/internal/topo"
 )
 
@@ -32,6 +33,10 @@ func main() {
 		return
 	}
 
+	if _, err := cli.Topology(*name); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	tp, err := topo.ByName(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

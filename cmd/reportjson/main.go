@@ -1,0 +1,29 @@
+// Command reportjson validates a machine-readable run report on stdin:
+// it decodes the envelope strictly (unknown fields rejected), checks the
+// schema version and table shapes, and prints a one-line summary. It is
+// the JSON-schema smoke check wired into `make verify`:
+//
+//	asidisc -topo "3x3 mesh" -telemetry -json | reportjson
+//	asibench -exp table1 -json | reportjson
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	rr, err := experiment.DecodeRunReport(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	histograms := 0
+	if rr.Telemetry != nil {
+		histograms = len(rr.Telemetry.Histograms)
+	}
+	fmt.Printf("ok: schema=%s reports=%d result=%v telemetry-histograms=%d\n",
+		rr.Schema, len(rr.Reports), rr.Result != nil, histograms)
+}

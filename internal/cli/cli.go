@@ -1,0 +1,87 @@
+// Package cli holds the flag-value parsers shared by the command-line
+// tools (asidisc, asibench, asitopo). Each parser maps the stringly-typed
+// flag surface onto the typed simulation API and, on failure, returns an
+// error that names every valid value — the duplicated ad-hoc switches the
+// tools used to carry drifted out of sync with each other.
+package cli
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// algNames maps every accepted spelling to its algorithm, long names
+// first so help text lists them canonically.
+var algNames = []struct {
+	name string
+	kind core.Kind
+}{
+	{"serial-packet", core.SerialPacket},
+	{"serial-device", core.SerialDevice},
+	{"parallel", core.Parallel},
+	{"partial", core.Partial},
+	{"sp", core.SerialPacket},
+	{"sd", core.SerialDevice},
+	{"p", core.Parallel},
+}
+
+// AlgorithmNames returns the canonical algorithm spellings for help text.
+func AlgorithmNames() []string {
+	return []string{"serial-packet", "serial-device", "parallel", "partial"}
+}
+
+// Algorithm parses a discovery-algorithm name (aliases: sp, sd, p).
+func Algorithm(s string) (core.Kind, error) {
+	want := strings.ToLower(s)
+	for _, a := range algNames {
+		if a.name == want {
+			return a.kind, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (valid: %s)", s, strings.Join(AlgorithmNames(), ", "))
+}
+
+// ChangeNames returns the topological-change spellings for help text.
+func ChangeNames() []string { return []string{"none", "remove", "add"} }
+
+// Change parses a topological-change name.
+func Change(s string) (experiment.Change, error) {
+	switch strings.ToLower(s) {
+	case "none":
+		return experiment.NoChange, nil
+	case "remove":
+		return experiment.RemoveSwitch, nil
+	case "add":
+		return experiment.AddSwitch, nil
+	default:
+		return 0, fmt.Errorf("unknown change %q (valid: %s)", s, strings.Join(ChangeNames(), ", "))
+	}
+}
+
+// Topology validates a Table 1 topology name and returns it unchanged.
+func Topology(s string) (string, error) {
+	if _, err := topo.ByName(s); err != nil {
+		return "", fmt.Errorf("unknown topology %q (valid: %s)", s, strings.Join(topo.Names(), ", "))
+	}
+	return s, nil
+}
+
+// Flap parses "link,at_us,dur_us" into a scheduled link flap.
+func Flap(s string) (fabric.Flap, error) {
+	var link int
+	var atUS, durUS float64
+	if _, err := fmt.Sscanf(s, "%d,%g,%g", &link, &atUS, &durUS); err != nil {
+		return fabric.Flap{}, fmt.Errorf("bad flap %q (want link,at_us,dur_us): %v", s, err)
+	}
+	return fabric.Flap{
+		Link:     link,
+		At:       sim.Time(sim.Micros(atUS)),
+		Duration: sim.Micros(durUS),
+	}, nil
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/route"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options configures a fabric manager.
@@ -50,6 +51,12 @@ type Options struct {
 	// RetryBackoff is the wait before the first re-issue; each further
 	// attempt doubles it, capped at 8x. Zero means 100us.
 	RetryBackoff sim.Duration
+	// Telemetry, when non-nil, records the FM's operational metrics —
+	// per-phase service-time and round-trip histograms, work-queue depth,
+	// timeout/retry counters — into the given registry. Nil (the default)
+	// disables recording entirely; enabling it never alters simulated
+	// behaviour.
+	Telemetry *telemetry.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -87,6 +94,7 @@ const (
 	reqWrite                       // event-route / path programming write
 	reqVerify                      // partial rediscovery route validation
 	reqClaim                       // distributed discovery ownership claim
+	numReqKinds
 )
 
 // request is one outstanding PI-4 request and the context to interpret
@@ -107,6 +115,8 @@ type request struct {
 	nports int
 	// timeout fires if no completion arrives.
 	timeout sim.EventID
+	// sentAt stamps the latest issue, for round-trip telemetry.
+	sentAt sim.Time
 	// payload is the request payload, kept so a timed-out request can be
 	// re-issued verbatim (with a fresh tag) along the same path.
 	payload asi.PI4
@@ -126,6 +136,7 @@ const (
 	wTimeout
 	wEvent
 	wSync
+	numWorkKinds
 )
 
 type work struct {
@@ -217,6 +228,10 @@ type Manager struct {
 	// stale counts completions whose request had already timed out.
 	stale int
 
+	// tel holds the pre-registered telemetry handles, nil unless
+	// Options.Telemetry was set.
+	tel *fmTelemetry
+
 	// runGen identifies the current discovery run; retry timers armed in
 	// an earlier run recognize themselves as orphaned and do nothing.
 	runGen uint64
@@ -238,6 +253,9 @@ func NewManager(f *fabric.Fabric, dev *fabric.Device, opt Options) *Manager {
 		opt:     opt.withDefaults(),
 		pending: make(map[uint32]*request),
 		db:      NewDB(dev.DSN),
+	}
+	if opt.Telemetry != nil {
+		m.tel = newFMTelemetry(opt.Telemetry)
 	}
 	m.workTimer = m.e.NewTimer(m.completeWork)
 	m.timeoutFn = func(_ *sim.Engine, arg any) { m.onTimeout(arg.(*request)) }
@@ -305,10 +323,16 @@ func (m *Manager) HandlePacket(port int, pkt *asi.Packet) {
 			if m.discovering {
 				m.res.Stale++
 			}
+			if m.tel != nil {
+				m.tel.stale.Inc()
+			}
 			return
 		}
 		delete(m.pending, pl.Tag)
 		m.e.Cancel(req.timeout)
+		if m.tel != nil {
+			m.tel.rtt[req.kind].Observe(int64(m.e.Now().Sub(req.sentAt)))
+		}
 		m.enqueue(work{kind: wCompletion, req: req, pi4: pl})
 	case asi.PI5:
 		m.res.PacketsReceived++
@@ -334,6 +358,9 @@ func (m *Manager) HandlePacket(port int, pkt *asi.Packet) {
 // enqueue adds a work item to the FM's serial processor.
 func (m *Manager) enqueue(w work) {
 	m.queue.Push(w)
+	if m.tel != nil {
+		m.tel.queueDepth.SetMax(int64(m.queue.Len()))
+	}
 	if !m.busy {
 		m.processNext()
 	}
@@ -362,6 +389,9 @@ func (m *Manager) processNext() {
 func (m *Manager) completeWork(*sim.Engine) {
 	w := m.curWork
 	m.curWork = work{}
+	if m.tel != nil {
+		m.tel.service[w.kind].Observe(int64(m.curCost))
+	}
 	if m.discovering {
 		m.res.Processed++
 		m.res.FMBusy += m.curCost
@@ -382,6 +412,9 @@ func (m *Manager) handleWork(w work) {
 		m.applyCompletion(w.req, w.pi4)
 	case wTimeout:
 		m.res.TimedOut++
+		if m.tel != nil {
+			m.tel.timeouts.Inc()
+		}
 		if !m.retryRequest(w.req) {
 			m.applyFailure(w.req)
 		}
@@ -558,6 +591,7 @@ func (m *Manager) issue(req *request) bool {
 		window = m.opt.VerifyTimeout
 	}
 	req.timeout = m.e.AfterArg(window, m.timeoutFn, req)
+	req.sentAt = m.e.Now()
 	m.dev.Inject(pkt)
 	return true
 }
@@ -582,11 +616,17 @@ func (m *Manager) retryRequest(req *request) bool {
 	if req.attempt >= m.opt.MaxRetries {
 		if m.opt.MaxRetries > 0 {
 			m.res.GaveUp++
+			if m.tel != nil {
+				m.tel.giveups.Inc()
+			}
 		}
 		return false
 	}
 	req.attempt++
 	m.res.Retries++
+	if m.tel != nil {
+		m.tel.retries.Inc()
+	}
 	backoff := m.opt.RetryBackoff << (req.attempt - 1)
 	if max := m.opt.RetryBackoff * 8; backoff > max {
 		backoff = max

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+)
+
+// A discovery run with telemetry enabled must populate the per-phase
+// service-time histograms, the per-kind round-trip histograms and the
+// queue-depth gauge, with totals consistent with the Result counters.
+func TestManagerTelemetryRecordsPhases(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	e := sim.NewEngine()
+	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	f.EnableTelemetry(reg)
+	m := NewManager(f, f.Device(tp.Endpoints()[0]), Options{Algorithm: Parallel, Telemetry: reg})
+	res := runDiscovery(t, e, m)
+
+	s := reg.Snapshot()
+	svc, ok := s.Histogram(MetricFMServicePrefix + "completion")
+	if !ok || svc.Count == 0 {
+		t.Fatalf("completion service histogram missing or empty: %+v", svc)
+	}
+	start, _ := s.Histogram(MetricFMServicePrefix + "start")
+	if start.Count != 1 {
+		t.Errorf("start phase processed %d times, want 1", start.Count)
+	}
+	// Every processed work item was observed exactly once across the
+	// service phases.
+	var phases uint64
+	for k := workKind(0); k < numWorkKinds; k++ {
+		h, _ := s.Histogram(MetricFMServicePrefix + k.label())
+		phases += h.Count
+	}
+	if phases != uint64(res.Processed) {
+		t.Errorf("service observations %d != processed %d", phases, res.Processed)
+	}
+	// Round trips: one per completion that reached the FM (probes and
+	// port reads on a lossless fabric — every request completes).
+	var rtts uint64
+	for k := reqKind(0); k < numReqKinds; k++ {
+		h, _ := s.Histogram(MetricFMRTTPrefix + k.label())
+		rtts += h.Count
+		if h.Count > 0 && h.Min <= 0 {
+			t.Errorf("%s: non-positive round trip %d", MetricFMRTTPrefix+k.label(), h.Min)
+		}
+	}
+	if rtts == 0 {
+		t.Error("no round trips recorded")
+	}
+	if depth, ok := s.Gauge(MetricFMQueueDepth); !ok || depth < 1 {
+		t.Errorf("queue depth high-water = %d, %v", depth, ok)
+	}
+	// The fabric side recorded management traffic per link and VC.
+	var vcTx uint64
+	for _, v := range s.Vectors {
+		if v.Name == fabric.MetricVCTx {
+			vcTx += v.Value
+		}
+	}
+	if vcTx == 0 {
+		t.Error("no per-VC transmissions recorded")
+	}
+}
+
+// Timeouts, retries and giveups must mirror the Result counters when the
+// fabric loses packets.
+func TestManagerTelemetryRetryCounters(t *testing.T) {
+	tp := topo.Mesh(4, 4)
+	e := sim.NewEngine()
+	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetFaultPlan(fabric.Uniform(0.05)); err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.New()
+	m := NewManager(f, f.Device(tp.Endpoints()[0]), Options{
+		Algorithm: Parallel, MaxRetries: 2, Telemetry: reg,
+	})
+	res := runDiscovery(t, e, m)
+	if res.TimedOut == 0 {
+		t.Skip("seed produced no timeouts; counters trivially zero")
+	}
+	s := reg.Snapshot()
+	check := func(name string, want int) {
+		got, _ := s.Counter(name)
+		if got != uint64(want) {
+			t.Errorf("%s = %d, want %d (Result mirror)", name, got, want)
+		}
+	}
+	check(MetricFMTimeouts, res.TimedOut)
+	check(MetricFMRetries, res.Retries)
+	check(MetricFMGiveups, res.GaveUp)
+}
+
+// A telemetry-less manager must carry no telemetry state at all.
+func TestManagerTelemetryOffByDefault(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	e := sim.NewEngine()
+	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(f, f.Device(tp.Endpoints()[0]), Options{Algorithm: Parallel})
+	if m.tel != nil {
+		t.Fatal("telemetry handles allocated without a registry")
+	}
+	runDiscovery(t, e, m)
+}

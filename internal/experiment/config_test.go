@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func TestNewConfigAppliesOptions(t *testing.T) {
+	cfg, err := NewConfig("4x4 mesh", core.Parallel,
+		WithSeed(9),
+		WithChange(RemoveSwitch),
+		WithFactors(2, 0.5),
+		WithLoss(0.01),
+		WithRetries(3, 10*sim.Microsecond),
+		WithTelemetry(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Topology: "4x4 mesh", Algorithm: core.Parallel,
+		Seed: 9, Change: RemoveSwitch,
+		FMFactor: 2, DeviceFactor: 0.5,
+		LossRate: 0.01, MaxRetries: 3, RetryBackoff: 10 * sim.Microsecond,
+		Telemetry: true,
+	}
+	if cfg != want {
+		t.Errorf("NewConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+func TestNewConfigValidates(t *testing.T) {
+	cases := []struct {
+		name string
+		topo string
+		alg  core.Kind
+		opts []Option
+		frag string
+	}{
+		{"topology", "17x17 blob", core.Parallel, nil, "unknown topology"},
+		{"algorithm", "3x3 mesh", core.Kind(99), nil, "unknown algorithm"},
+		{"change", "3x3 mesh", core.Parallel, []Option{WithChange(Change(7))}, "unknown change"},
+		{"factor", "3x3 mesh", core.Parallel, []Option{WithFactors(-1, 1)}, "negative processing factor"},
+		{"loss", "3x3 mesh", core.Parallel, []Option{WithLoss(1.5)}, "loss rate"},
+		{"retries", "3x3 mesh", core.Parallel, []Option{WithRetries(-1, 0)}, "negative retry limit"},
+		{"backoff", "3x3 mesh", core.Parallel, []Option{WithRetries(1, -sim.Microsecond)}, "negative retry backoff"},
+	}
+	for _, tc := range cases {
+		if _, err := NewConfig(tc.topo, tc.alg, tc.opts...); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+}
+
+func TestRunSpecConfigRoundTrip(t *testing.T) {
+	spec := RunSpec{
+		Topology: "3x3 mesh", Algorithm: core.SerialDevice,
+		FMFactor: 2, DeviceFactor: 0.2, Seed: 5, Change: AddSwitch,
+		LossRate: 0.001, MaxRetries: 2, RetryBackoff: sim.Microsecond,
+	}
+	cfg := spec.Config()
+	if cfg.Topology != spec.Topology || cfg.Algorithm != spec.Algorithm ||
+		cfg.FMFactor != spec.FMFactor || cfg.DeviceFactor != spec.DeviceFactor ||
+		cfg.Seed != spec.Seed || cfg.Change != spec.Change ||
+		cfg.LossRate != spec.LossRate || cfg.MaxRetries != spec.MaxRetries ||
+		cfg.RetryBackoff != spec.RetryBackoff {
+		t.Errorf("shim lost fields: %+v from %+v", cfg, spec)
+	}
+	if cfg.Telemetry {
+		t.Error("legacy specs must not enable telemetry")
+	}
+}
+
+// RunConfig with telemetry attaches a snapshot carrying the FM, fabric
+// and engine metric families end to end.
+func TestRunConfigTelemetrySnapshot(t *testing.T) {
+	o := RunConfig(MustConfig("3x3 mesh", core.Parallel, WithSeed(1), WithTelemetry()))
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	s := o.Telemetry
+	if s == nil {
+		t.Fatal("telemetry enabled but Outcome.Telemetry is nil")
+	}
+	if h, ok := s.Histogram(core.MetricFMServicePrefix + "completion"); !ok || h.Count == 0 {
+		t.Errorf("FM completion histogram missing or empty: %+v", h)
+	}
+	if v, ok := s.Counter(sim.MetricEvents); !ok || v != o.Events {
+		t.Errorf("sim.events = %d (ok=%v), want %d", v, ok, o.Events)
+	}
+	if d, ok := s.Gauge(sim.MetricHeapMax); !ok || d < 2 {
+		t.Errorf("heap high-water = %d (ok=%v), want >= 2", d, ok)
+	}
+	var linkTx uint64
+	for _, v := range s.Vectors {
+		if strings.HasPrefix(v.Name, "fabric.link.tx") {
+			linkTx += v.Value
+		}
+	}
+	if linkTx == 0 {
+		t.Error("no fabric link transmissions in snapshot")
+	}
+}
+
+// A telemetry-less run must not carry a snapshot.
+func TestRunConfigTelemetryOffByDefault(t *testing.T) {
+	o := RunConfig(MustConfig("3x3 mesh", core.Parallel, WithSeed(1)))
+	if o.Err != nil {
+		t.Fatal(o.Err)
+	}
+	if o.Telemetry != nil {
+		t.Fatalf("telemetry disabled but snapshot present: %+v", o.Telemetry)
+	}
+}

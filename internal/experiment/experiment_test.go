@@ -90,8 +90,8 @@ func TestRunAllPreservesOrder(t *testing.T) {
 		if o.Err != nil {
 			t.Fatalf("run %d: %v", i, o.Err)
 		}
-		if o.Spec.Topology != specs[i].Topology {
-			t.Errorf("order broken at %d: %s", i, o.Spec.Topology)
+		if o.Config.Topology != specs[i].Topology {
+			t.Errorf("order broken at %d: %s", i, o.Config.Topology)
 		}
 	}
 }

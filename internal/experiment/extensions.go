@@ -17,19 +17,19 @@ import (
 // assimilation for the same changes.
 func ExtPartial(seeds, workers int) Report {
 	topos := []string{"4x4 mesh", "6x6 mesh", "8x8 torus"}
-	var specs []RunSpec
+	var cfgs []Config
 	for _, tn := range topos {
 		for seed := 1; seed <= seeds; seed++ {
 			for _, ch := range []Change{RemoveSwitch, AddSwitch} {
 				for _, k := range []core.Kind{core.Parallel, core.Partial} {
-					specs = append(specs, RunSpec{
+					cfgs = append(cfgs, Config{
 						Topology: tn, Algorithm: k, Seed: uint64(seed), Change: ch,
 					})
 				}
 			}
 		}
 	}
-	outs := RunAll(specs, workers)
+	outs := RunConfigAll(cfgs, workers)
 	r := Report{
 		ID:     "ext-partial",
 		Title:  "Full rediscovery (Parallel) vs partial assimilation of the affected region",
@@ -40,7 +40,7 @@ func ExtPartial(seeds, workers int) Report {
 	}
 	for i := 0; i+1 < len(outs); i += 2 {
 		full, part := outs[i], outs[i+1]
-		row := []string{full.Spec.Topology, full.Spec.Change.String(), fmt.Sprint(full.Spec.Seed)}
+		row := []string{full.Config.Topology, full.Config.Change.String(), fmt.Sprint(full.Config.Seed)}
 		if full.Err != nil || part.Err != nil {
 			row = append(row, "ERR", "ERR", "", "", "")
 			r.Rows = append(r.Rows, row)
@@ -150,7 +150,7 @@ func ExtTraffic() Report {
 	}
 	for _, tn := range []string{"4x4 mesh", "6x6 torus"} {
 		for _, k := range core.PaperKinds() {
-			idle := Run(RunSpec{Topology: tn, Algorithm: k, Seed: 1, Change: NoChange})
+			idle := RunConfig(Config{Topology: tn, Algorithm: k, Seed: 1, Change: NoChange})
 			loaded, err := runLoaded(tn, k, 1)
 			if idle.Err != nil || err != nil {
 				r.Rows = append(r.Rows, []string{tn, k.String(), "ERR", "ERR", ""})

@@ -37,13 +37,13 @@ func Table1Report() Report {
 // Fig4 reproduces Fig. 4: average time to process a PI-4 packet at the FM
 // for each discovery algorithm, as a function of the network size.
 func Fig4(workers int) Report {
-	specs := make([]RunSpec, 0, len(topo.Table1())*3)
+	cfgs := make([]Config, 0, len(topo.Table1())*3)
 	for _, s := range topo.Table1() {
 		for _, k := range core.PaperKinds() {
-			specs = append(specs, RunSpec{Topology: s.Name, Algorithm: k, Seed: 1, Change: NoChange})
+			cfgs = append(cfgs, Config{Topology: s.Name, Algorithm: k, Seed: 1, Change: NoChange})
 		}
 	}
-	outs := RunAll(specs, workers)
+	outs := RunConfigAll(cfgs, workers)
 	r := Report{
 		ID:     "fig4",
 		Title:  "Average PI-4 processing time at the FM (microseconds) vs network size",
@@ -54,7 +54,7 @@ func Fig4(workers int) Report {
 	}
 	for i := 0; i < len(outs); i += 3 {
 		o := outs[i]
-		row := []string{o.Spec.Topology, fmt.Sprint(o.Switches)}
+		row := []string{o.Config.Topology, fmt.Sprint(o.Switches)}
 		for j := 0; j < 3; j++ {
 			if outs[i+j].Err != nil {
 				row = append(row, "ERR")
@@ -71,12 +71,12 @@ func Fig4(workers int) Report {
 // and addition, several seeds) for every Table 1 topology under the given
 // processing factors, all three algorithms per scenario.
 func changeSweep(seeds, workers int, fmFactor, devFactor float64) []Outcome {
-	var specs []RunSpec
+	var cfgs []Config
 	for _, s := range topo.Table1() {
 		for seed := 1; seed <= seeds; seed++ {
 			for _, ch := range []Change{RemoveSwitch, AddSwitch} {
 				for _, k := range core.PaperKinds() {
-					specs = append(specs, RunSpec{
+					cfgs = append(cfgs, Config{
 						Topology: s.Name, Algorithm: k,
 						Seed: uint64(seed), Change: ch,
 						FMFactor: fmFactor, DeviceFactor: devFactor,
@@ -85,7 +85,7 @@ func changeSweep(seeds, workers int, fmFactor, devFactor float64) []Outcome {
 			}
 		}
 	}
-	return RunAll(specs, workers)
+	return RunConfigAll(cfgs, workers)
 }
 
 // sweepReports renders a change sweep as the Fig. 6(a)-style per-run
@@ -108,13 +108,17 @@ func sweepReports(outs []Outcome, idA, titleA, idB, titleB string) (perRun, aver
 	for i := 0; i+2 < len(outs); i += 3 {
 		o := outs[i]
 		row := []string{
-			o.Spec.Topology, o.Spec.Change.String(), fmt.Sprint(o.Spec.Seed),
+			o.Config.Topology, o.Config.Change.String(), fmt.Sprint(o.Config.Seed),
 			fmt.Sprint(o.ActiveNodes),
 		}
-		if _, ok := agg[o.Spec.Topology]; !ok {
-			agg[o.Spec.Topology] = [3]*metrics.Sample{{}, {}, {}}
-			nodes[o.Spec.Topology] = o.PhysicalNodes
-			order = append(order, o.Spec.Topology)
+		if _, ok := agg[o.Config.Topology]; !ok {
+			// Streaming samples: sweeps only need the mean, so there is
+			// no reason to retain every run's duration.
+			agg[o.Config.Topology] = [3]*metrics.Sample{
+				metrics.NewStreaming(), metrics.NewStreaming(), metrics.NewStreaming(),
+			}
+			nodes[o.Config.Topology] = o.PhysicalNodes
+			order = append(order, o.Config.Topology)
 		}
 		for j := 0; j < 3; j++ {
 			oj := outs[i+j]
@@ -123,7 +127,7 @@ func sweepReports(outs []Outcome, idA, titleA, idB, titleB string) (perRun, aver
 				continue
 			}
 			row = append(row, secs(oj.Result.Duration))
-			agg[o.Spec.Topology][j].Add(oj.Result.Duration.Seconds())
+			agg[o.Config.Topology][j].Add(oj.Result.Duration.Seconds())
 		}
 		perRun.Rows = append(perRun.Rows, row)
 	}
@@ -164,7 +168,7 @@ func Fig7a() Report {
 	}
 	var lines [3][]core.TimelinePoint
 	for j, k := range core.PaperKinds() {
-		o := Run(RunSpec{Topology: "3x3 mesh", Algorithm: k, Seed: 1, Change: NoChange})
+		o := RunConfig(Config{Topology: "3x3 mesh", Algorithm: k, Seed: 1, Change: NoChange})
 		if o.Err != nil {
 			r.Notes = append(r.Notes, fmt.Sprintf("%v failed: %v", k, o.Err))
 			continue
@@ -232,17 +236,17 @@ func Fig8(workers int) []Report {
 	devFactors := []float64{0.02, 0.05, 0.1, 0.2, 1.0 / 3, 0.5, 1, 2, 4, 8}
 
 	factorSweep := func(id, title, label string, factors []float64, vary func(f float64) (fmF, devF float64)) Report {
-		var specs []RunSpec
+		var cfgs []Config
 		for _, f := range factors {
 			fmF, devF := vary(f)
 			for _, k := range core.PaperKinds() {
-				specs = append(specs, RunSpec{
+				cfgs = append(cfgs, Config{
 					Topology: "8x8 mesh", Algorithm: k, Seed: 1, Change: NoChange,
 					FMFactor: fmF, DeviceFactor: devF,
 				})
 			}
 		}
-		outs := RunAll(specs, workers)
+		outs := RunConfigAll(cfgs, workers)
 		r := Report{
 			ID:     id,
 			Title:  title,

@@ -17,11 +17,11 @@ func ExtLoss(seeds, workers int) Report {
 	losses := []float64{0, 1e-4, 1e-3, 1e-2}
 	const maxRetries = 3
 
-	var specs []RunSpec
+	var cfgs []Config
 	for _, loss := range losses {
 		for _, k := range core.PaperKinds() {
 			for seed := 1; seed <= seeds; seed++ {
-				specs = append(specs, RunSpec{
+				cfgs = append(cfgs, Config{
 					Topology:   topoName,
 					Algorithm:  k,
 					Seed:       uint64(seed),
@@ -31,7 +31,7 @@ func ExtLoss(seeds, workers int) Report {
 			}
 		}
 	}
-	outs := RunAll(specs, workers)
+	outs := RunConfigAll(cfgs, workers)
 
 	r := Report{
 		ID:     "ext-loss",

@@ -12,15 +12,15 @@ import (
 // fed to a plotting tool via CSV.
 type Report struct {
 	// ID is the experiment identifier, e.g. "fig6a".
-	ID string
+	ID string `json:"id"`
 	// Title describes the experiment as the paper captions it.
-	Title string
+	Title string `json:"title"`
 	// Header names the columns.
-	Header []string
+	Header []string `json:"header"`
 	// Rows holds the data, stringified.
-	Rows [][]string
+	Rows [][]string `json:"rows"`
 	// Notes carries methodology remarks appended after the table.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Render writes an aligned text table.

@@ -11,10 +11,12 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -51,7 +53,9 @@ func (c Change) String() string {
 	}
 }
 
-// RunSpec describes one simulation run.
+// RunSpec is the legacy field-for-field run description, kept as a thin
+// shim over Config so existing call sites keep compiling. New code should
+// build a Config with NewConfig and call RunConfig.
 type RunSpec struct {
 	Topology     string
 	Algorithm    core.Kind
@@ -73,9 +77,26 @@ type RunSpec struct {
 	Trace trace.Recorder
 }
 
+// Config converts the legacy spec to the equivalent run configuration.
+func (s RunSpec) Config() Config {
+	return Config{
+		Topology:     s.Topology,
+		Algorithm:    s.Algorithm,
+		FMFactor:     s.FMFactor,
+		DeviceFactor: s.DeviceFactor,
+		Seed:         s.Seed,
+		Change:       s.Change,
+		LossRate:     s.LossRate,
+		Faults:       s.Faults,
+		MaxRetries:   s.MaxRetries,
+		RetryBackoff: s.RetryBackoff,
+		Trace:        s.Trace,
+	}
+}
+
 // Outcome carries one run's measurements.
 type Outcome struct {
-	Spec RunSpec
+	Config Config
 	// PhysicalNodes is the total device count of the built topology
 	// (the x-axis of Fig. 6b); Switches its switch count.
 	PhysicalNodes int
@@ -95,6 +116,9 @@ type Outcome struct {
 	// run (all phases: transient, change, assimilation). Together with
 	// wall-clock time it yields the simulator's events/sec throughput.
 	Events uint64
+	// Telemetry is the run's end-of-run metric snapshot, non-nil only
+	// when Config.Telemetry was set.
+	Telemetry *telemetry.Snapshot
 }
 
 // totalEvents accumulates Engine.Processed across every Run, including
@@ -108,10 +132,15 @@ func TakeProcessedEvents() uint64 {
 	return totalEvents.Swap(0)
 }
 
-// Run executes one specification to completion.
-func Run(spec RunSpec) (out Outcome) {
-	out = Outcome{Spec: spec}
-	tp, err := topo.ByName(spec.Topology)
+// Run executes one legacy specification to completion.
+func Run(spec RunSpec) Outcome {
+	return RunConfig(spec.Config())
+}
+
+// RunConfig executes one run configuration to completion.
+func RunConfig(cfg Config) (out Outcome) {
+	out = Outcome{Config: cfg}
+	tp, err := topo.ByName(cfg.Topology)
 	if err != nil {
 		out.Err = err
 		return out
@@ -120,25 +149,48 @@ func Run(spec RunSpec) (out Outcome) {
 	out.Switches = tp.NumSwitches()
 
 	e := sim.NewEngine()
+	var (
+		reg       *telemetry.Registry
+		wallStart time.Time
+		f         *fabric.Fabric
+	)
+	if cfg.Telemetry {
+		reg = telemetry.New()
+		wallStart = time.Now()
+	}
 	defer func() {
 		out.Events = e.Processed
 		totalEvents.Add(e.Processed)
+		if reg == nil {
+			return
+		}
+		// Cold end-of-run publication: fold the fabric and engine tallies
+		// into the registry, then freeze everything into the Outcome.
+		if f != nil {
+			f.FinishTelemetry(reg)
+		}
+		e.RecordTelemetry(reg, time.Since(wallStart))
+		s := reg.Snapshot()
+		out.Telemetry = &s
 	}()
-	rng := sim.NewRNG(spec.Seed*2654435761 + 1)
-	f, err := fabric.New(e, tp, fabric.Config{DeviceFactor: spec.DeviceFactor}, rng)
+	rng := sim.NewRNG(cfg.Seed*2654435761 + 1)
+	f, err = fabric.New(e, tp, fabric.Config{DeviceFactor: cfg.DeviceFactor}, rng)
 	if err != nil {
 		out.Err = err
 		return out
 	}
-	if spec.Trace != nil {
-		f.SetTracer(spec.Trace)
+	if cfg.Trace != nil {
+		f.SetTracer(cfg.Trace)
+	}
+	if reg != nil {
+		f.EnableTelemetry(reg)
 	}
 	plan := fabric.FaultPlan{}
 	switch {
-	case spec.Faults != nil:
-		plan = *spec.Faults
-	case spec.LossRate > 0:
-		plan = fabric.Uniform(spec.LossRate)
+	case cfg.Faults != nil:
+		plan = *cfg.Faults
+	case cfg.LossRate > 0:
+		plan = fabric.Uniform(cfg.LossRate)
 	}
 	if err := f.SetFaultPlan(plan); err != nil {
 		out.Err = err
@@ -146,16 +198,17 @@ func Run(spec RunSpec) (out Outcome) {
 	}
 	ep := f.Device(tp.Endpoints()[0])
 	m := core.NewManager(f, ep, core.Options{
-		Algorithm:    spec.Algorithm,
-		FMFactor:     spec.FMFactor,
-		MaxRetries:   spec.MaxRetries,
-		RetryBackoff: spec.RetryBackoff,
+		Algorithm:    cfg.Algorithm,
+		FMFactor:     cfg.FMFactor,
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: cfg.RetryBackoff,
+		Telemetry:    reg,
 	})
 
 	// Pick the changed switch up front (never the FM's host switch,
 	// which would cut the manager off entirely).
 	var target topo.NodeID = -1
-	if spec.Change != NoChange {
+	if cfg.Change != NoChange {
 		hostSwitch, _, _ := tp.Peer(ep.ID, 0)
 		for {
 			target = f.RandomSwitch(rng)
@@ -164,7 +217,7 @@ func Run(spec RunSpec) (out Outcome) {
 			}
 		}
 	}
-	if spec.Change == AddSwitch {
+	if cfg.Change == AddSwitch {
 		if err := f.SetDeviceDown(target, true); err != nil {
 			out.Err = err
 			return out
@@ -193,14 +246,14 @@ func Run(spec RunSpec) (out Outcome) {
 		return out
 	}
 
-	if spec.Change == NoChange {
+	if cfg.Change == NoChange {
 		out.Result = out.Initial
 		out.ActiveNodes = f.AliveReachableFrom(ep.ID)
 		return out
 	}
 
 	// Inject the change; PI-5 reports trigger the measured assimilation.
-	switch spec.Change {
+	switch cfg.Change {
 	case RemoveSwitch:
 		err = f.SetDeviceDown(target, false)
 	case AddSwitch:
@@ -213,7 +266,7 @@ func Run(spec RunSpec) (out Outcome) {
 	e.Run()
 	if len(results) < 2 {
 		out.Err = fmt.Errorf("experiment: change on %s (switch %d) triggered no discovery",
-			spec.Topology, target)
+			cfg.Topology, target)
 		return out
 	}
 	// Partial assimilation may produce several small runs (one per
@@ -240,36 +293,50 @@ func Run(spec RunSpec) (out Outcome) {
 	return out
 }
 
-// RunWithRetry reruns with shifted seeds when a run fails for a
+// RunConfigWithRetry reruns with shifted seeds when a run fails for a
 // seed-specific reason (e.g. every PI-5 reporter was stranded by the
 // change), keeping sweep tables dense.
-func RunWithRetry(spec RunSpec, retries int) Outcome {
-	out := Run(spec)
+func RunConfigWithRetry(cfg Config, retries int) Outcome {
+	out := RunConfig(cfg)
 	for i := 0; i < retries && out.Err != nil; i++ {
-		spec.Seed += 7919
-		out = Run(spec)
+		cfg.Seed += 7919
+		out = RunConfig(cfg)
 	}
 	return out
 }
 
-// RunAll executes the specifications across a worker pool, preserving
-// order. workers <= 0 selects GOMAXPROCS.
-func RunAll(specs []RunSpec, workers int) []Outcome {
+// RunWithRetry is RunConfigWithRetry over a legacy spec.
+func RunWithRetry(spec RunSpec, retries int) Outcome {
+	return RunConfigWithRetry(spec.Config(), retries)
+}
+
+// RunConfigAll executes the configurations across a worker pool,
+// preserving order. workers <= 0 selects GOMAXPROCS.
+func RunConfigAll(cfgs []Config, workers int) []Outcome {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	out := make([]Outcome, len(specs))
+	out := make([]Outcome, len(cfgs))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, workers)
-	for i, spec := range specs {
+	for i, cfg := range cfgs {
 		wg.Add(1)
-		go func(i int, spec RunSpec) {
+		go func(i int, cfg Config) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			out[i] = RunWithRetry(spec, 2)
-		}(i, spec)
+			out[i] = RunConfigWithRetry(cfg, 2)
+		}(i, cfg)
 	}
 	wg.Wait()
 	return out
+}
+
+// RunAll is RunConfigAll over legacy specs.
+func RunAll(specs []RunSpec, workers int) []Outcome {
+	cfgs := make([]Config, len(specs))
+	for i, s := range specs {
+		cfgs[i] = s.Config()
+	}
+	return RunConfigAll(cfgs, workers)
 }

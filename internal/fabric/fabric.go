@@ -162,6 +162,7 @@ type Fabric struct {
 	counters Counters
 	tracer   trace.Recorder
 	faults   *faultState
+	tel      *fabricTelemetry
 }
 
 // New instantiates the fabric described by t on the given engine. All
@@ -303,11 +304,16 @@ func (f *Fabric) traceEvent(kind trace.Kind, d *Device, port int, pkt *asi.Packe
 }
 
 // drop accounts a discarded packet.
-func (f *Fabric) drop(r DropReason) { f.counters.Drops[r]++ }
+func (f *Fabric) drop(r DropReason) {
+	f.counters.Drops[r]++
+	if f.tel != nil {
+		f.tel.drops.Inc(int(r))
+	}
+}
 
 // dropTraced accounts and traces a discarded packet with context.
 func (f *Fabric) dropTraced(r DropReason, d *Device, port int, pkt *asi.Packet) {
-	f.counters.Drops[r]++
+	f.drop(r)
 	f.traceEvent(trace.Drop, d, port, pkt, r.String())
 }
 

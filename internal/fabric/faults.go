@@ -171,7 +171,10 @@ func (f *Fabric) faultDrop(l *link, d *Device, pkt *asi.Packet) bool {
 		drop = fs.rng.Float64() < lf.Loss
 	}
 	if drop {
-		f.counters.Drops[DropFaultInjected]++
+		f.drop(DropFaultInjected)
+		if f.tel != nil {
+			f.tel.linkFault.Inc(l.idx)
+		}
 		f.traceEvent(trace.Drop, d, l.portOf(d), pkt, DropFaultInjected.String())
 	}
 	return drop
@@ -196,5 +199,8 @@ func (f *Fabric) faultDelay(l *link) sim.Duration {
 		extra = 1 // at least one picosecond late
 	}
 	f.counters.FaultDelays++
+	if f.tel != nil {
+		f.tel.faultDelays.Inc()
+	}
 	return extra
 }

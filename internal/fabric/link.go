@@ -156,11 +156,23 @@ func (l *link) kick(d *Device) {
 	}
 	// Highest VC index first: VC2 is the management channel.
 	for vc := asi.NumVCs - 1; vc >= 0; vc-- {
-		if h.queues[vc].Len() == 0 || h.credits[vc] <= 0 {
+		if h.queues[vc].Len() == 0 {
+			continue
+		}
+		if h.credits[vc] <= 0 {
+			// Head-of-line packet starved for credits: the wire sits idle
+			// (for this VC) solely because the receiver's buffer is full.
+			if l.f.tel != nil {
+				l.f.tel.linkStall.Inc(l.idx)
+			}
 			continue
 		}
 		pkt := h.queues[vc].Pop()
 		h.credits[vc]--
+		if l.f.tel != nil {
+			l.f.tel.linkTx.Inc(l.idx)
+			l.f.tel.vcTx.Inc(vc)
+		}
 		if l.f.tracing() {
 			l.f.traceEvent(trace.Transmit, d, l.portOf(d), pkt, vcDetails[vc])
 		}

@@ -10,90 +10,102 @@ import (
 	"sort"
 )
 
-// Sample accumulates scalar observations.
+// Sample accumulates scalar observations. Mean, variance, min and max are
+// maintained incrementally (Welford's algorithm), so they cost O(1) space
+// regardless of how many observations arrive. The zero value additionally
+// retains every observation for exact order statistics (Median); samples
+// built with NewStreaming drop them, which is what long sweeps want — a
+// multi-thousand-run aggregation no longer holds every duration in memory
+// for the sake of a mean.
 type Sample struct {
+	n         int
+	mean, m2  float64
+	min, max  float64
+	streaming bool
+	// xs retains the observations for Median; nil in streaming mode.
 	xs []float64
 }
 
-// Add appends an observation.
-func (s *Sample) Add(x float64) { s.xs = append(s.xs, x) }
+// NewStreaming returns a sample that keeps only constant-size state:
+// every statistic except Median stays exact, and Median degrades to the
+// mean (documented there).
+func NewStreaming() *Sample { return &Sample{streaming: true} }
+
+// Add folds in an observation.
+func (s *Sample) Add(x float64) {
+	if s.n == 0 || x < s.min {
+		s.min = x
+	}
+	if s.n == 0 || x > s.max {
+		s.max = x
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+	if !s.streaming {
+		s.xs = append(s.xs, x)
+	}
+}
 
 // N returns the observation count.
-func (s *Sample) N() int { return len(s.xs) }
+func (s *Sample) N() int { return s.n }
 
 // Mean returns the arithmetic mean, or 0 for an empty sample.
 func (s *Sample) Mean() float64 {
-	if len(s.xs) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, x := range s.xs {
-		sum += x
-	}
-	return sum / float64(len(s.xs))
+	return s.mean
 }
 
 // Std returns the sample standard deviation (n-1 denominator), or 0 for
 // fewer than two observations.
 func (s *Sample) Std() float64 {
-	if len(s.xs) < 2 {
+	if s.n < 2 {
 		return 0
 	}
-	m := s.Mean()
-	sum := 0.0
-	for _, x := range s.xs {
-		d := x - m
-		sum += d * d
-	}
-	return math.Sqrt(sum / float64(len(s.xs)-1))
+	return math.Sqrt(s.m2 / float64(s.n-1))
 }
 
 // Min returns the smallest observation, or 0 for an empty sample.
 func (s *Sample) Min() float64 {
-	if len(s.xs) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	m := s.xs[0]
-	for _, x := range s.xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
+	return s.min
 }
 
 // Max returns the largest observation, or 0 for an empty sample.
 func (s *Sample) Max() float64 {
-	if len(s.xs) == 0 {
+	if s.n == 0 {
 		return 0
 	}
-	m := s.xs[0]
-	for _, x := range s.xs[1:] {
-		if x > m {
-			m = x
-		}
-	}
-	return m
+	return s.max
 }
 
 // CI95 returns the half-width of the 95% confidence interval of the mean
 // under a normal approximation (1.96 sigma/sqrt(n)).
 func (s *Sample) CI95() float64 {
-	if len(s.xs) < 2 {
+	if s.n < 2 {
 		return 0
 	}
-	return 1.96 * s.Std() / math.Sqrt(float64(len(s.xs)))
+	return 1.96 * s.Std() / math.Sqrt(float64(s.n))
 }
 
 // Median returns the middle observation (average of the two middle ones
-// for even counts).
+// for even counts). A streaming sample retains no observations to rank,
+// so it falls back to the mean.
 func (s *Sample) Median() float64 {
-	n := len(s.xs)
-	if n == 0 {
+	if s.n == 0 {
 		return 0
+	}
+	if s.streaming {
+		return s.mean
 	}
 	xs := append([]float64(nil), s.xs...)
 	sort.Float64s(xs)
+	n := len(xs)
 	if n%2 == 1 {
 		return xs[n/2]
 	}
@@ -132,7 +144,7 @@ func (s *Series) AggregateByX() Series {
 	for _, p := range s.Points {
 		g, ok := groups[p.X]
 		if !ok {
-			g = &Sample{}
+			g = NewStreaming()
 			groups[p.X] = g
 		}
 		g.Add(p.Y)

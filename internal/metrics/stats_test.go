@@ -116,3 +116,45 @@ func TestSeriesSortByX(t *testing.T) {
 		t.Error("SortByX failed")
 	}
 }
+
+// A streaming sample must agree with the exact sample on every statistic
+// except Median, which falls back to the mean.
+func TestStreamingMatchesExact(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var exact Sample
+		stream := NewStreaming()
+		for _, v := range raw {
+			exact.Add(float64(v))
+			stream.Add(float64(v))
+		}
+		return stream.N() == exact.N() &&
+			almostEqual(stream.Mean(), exact.Mean()) &&
+			math.Abs(stream.Std()-exact.Std()) < 1e-6 &&
+			stream.Min() == exact.Min() && stream.Max() == exact.Max() &&
+			math.Abs(stream.CI95()-exact.CI95()) < 1e-6 &&
+			almostEqual(stream.Median(), stream.Mean())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Streaming mode must not retain observations — that is its point.
+func TestStreamingRetainsNothing(t *testing.T) {
+	s := NewStreaming()
+	for i := 0; i < 10000; i++ {
+		s.Add(float64(i))
+	}
+	if s.xs != nil {
+		t.Errorf("streaming sample retained %d observations", len(s.xs))
+	}
+	if s.N() != 10000 || s.Min() != 0 || s.Max() != 9999 {
+		t.Errorf("streaming stats wrong: %v", s.String())
+	}
+	if !almostEqual(s.Mean(), 4999.5) {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+}

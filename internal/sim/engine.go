@@ -62,6 +62,10 @@ type Engine struct {
 	// Scheduled counts events that have been scheduled (including later
 	// canceled ones).
 	Scheduled uint64
+	// MaxPending is the high-water mark of the event queue — the deepest
+	// the heap has ever been. Telemetry snapshots read it after a run to
+	// report how much simultaneity the scenario actually generated.
+	MaxPending int
 }
 
 // NewEngine returns an engine at time zero with an empty event queue.
@@ -95,6 +99,9 @@ func (e *Engine) alloc(t Time, fn Handler, afn ArgHandler, arg any) EventID {
 	e.nextSeq++
 	e.Scheduled++
 	e.heap = append(e.heap, idx)
+	if len(e.heap) > e.MaxPending {
+		e.MaxPending = len(e.heap)
+	}
 	e.siftUp(len(e.heap) - 1)
 	return EventID{slot: idx + 1, gen: ev.gen}
 }

@@ -233,3 +233,36 @@ func TestEngineCausalityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// MaxPending tracks the queue's high-water mark: it grows to the deepest
+// simultaneous backlog and never shrinks as events drain.
+func TestEngineMaxPendingHighWaterMark(t *testing.T) {
+	e := NewEngine()
+	fn := func(*Engine) {}
+	for i := 0; i < 10; i++ {
+		e.After(Duration(i+1), fn)
+	}
+	if e.MaxPending != 10 {
+		t.Errorf("MaxPending = %d after 10 schedules, want 10", e.MaxPending)
+	}
+	e.Run()
+	if e.MaxPending != 10 {
+		t.Errorf("MaxPending = %d after drain, want 10 (must not shrink)", e.MaxPending)
+	}
+	// A shallower second wave leaves the mark untouched; a deeper one
+	// raises it. Cancellations do not lower it either.
+	for i := 0; i < 4; i++ {
+		e.After(Duration(i+1), fn)
+	}
+	id := e.After(99, fn)
+	e.Cancel(id)
+	if e.MaxPending != 10 {
+		t.Errorf("MaxPending = %d after shallow wave, want 10", e.MaxPending)
+	}
+	for i := 0; i < 20; i++ {
+		e.After(Duration(i+1), fn)
+	}
+	if e.MaxPending != 24 {
+		t.Errorf("MaxPending = %d, want 24", e.MaxPending)
+	}
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Engine telemetry metric names. The engine itself stays free of
+// telemetry branching — its hot path maintains only the Processed count
+// and the MaxPending high-water mark it already tracks — and this
+// end-of-run publisher copies them out.
+const (
+	// MetricEvents counts simulation events processed.
+	MetricEvents = "sim.events"
+	// MetricHeapMax is the event-heap depth high-water mark.
+	MetricHeapMax = "sim.heap.depth.max"
+	// MetricEventsPerSec is the wall-clock event throughput of the run.
+	MetricEventsPerSec = "sim.events.per.sec"
+)
+
+// RecordTelemetry publishes the engine's run statistics to reg: events
+// processed, the pending-heap high-water mark, and — when the caller
+// supplies the run's wall-clock duration — the simulator's events/sec
+// throughput. Call it once the run is complete; a nil registry ignores
+// everything.
+func (e *Engine) RecordTelemetry(reg *telemetry.Registry, wall time.Duration) {
+	reg.Counter(MetricEvents).Add(e.Processed)
+	reg.Gauge(MetricHeapMax).SetMax(int64(e.MaxPending))
+	if wall > 0 {
+		reg.Gauge(MetricEventsPerSec).Set(int64(float64(e.Processed) / wall.Seconds()))
+	}
+}

@@ -1,0 +1,45 @@
+package telemetry
+
+import "testing"
+
+// The zero-alloc contract: observing any metric — enabled or nil — must
+// not allocate. The fabric and FM hot paths rely on this; a regression
+// here would silently reintroduce per-packet garbage whenever telemetry
+// is switched on.
+
+func TestObservationsZeroAlloc(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	v := r.CounterVec("v", 8)
+	h := r.Histogram("h", "ps", []int64{10, 100, 1000, 10000})
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		c.Add(2)
+		g.Set(5)
+		g.SetMax(9)
+		v.Inc(3)
+		v.Add(7, 2)
+		h.Observe(50)
+		h.Observe(99999) // overflow bucket
+	})
+	if allocs != 0 {
+		t.Errorf("live metric observations allocate %.1f per run, want 0", allocs)
+	}
+}
+
+func TestNilObservationsZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var v *CounterVec
+	var h *Histogram
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Inc()
+		g.SetMax(1)
+		v.Inc(0)
+		h.Observe(1)
+	})
+	if allocs != 0 {
+		t.Errorf("nil metric observations allocate %.1f per run, want 0", allocs)
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+// Snapshot is the serializable view of a registry at one instant, in
+// deterministic (name-sorted) order so snapshots diff and golden-test
+// cleanly. Building a snapshot is a cold-path operation and allocates;
+// the live metrics keep counting undisturbed.
+type Snapshot struct {
+	Counters   []CounterSnap   `json:"counters,omitempty"`
+	Gauges     []GaugeSnap     `json:"gauges,omitempty"`
+	Vectors    []VecSnap       `json:"vectors,omitempty"`
+	Histograms []HistogramSnap `json:"histograms,omitempty"`
+}
+
+// CounterSnap is one counter's value.
+type CounterSnap struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// GaugeSnap is one gauge's level.
+type GaugeSnap struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// VecSnap is one non-zero slot of an indexed counter family. Zero slots
+// are omitted: a 200-link fabric with management traffic on 30 links
+// reports 30 entries, not 200.
+type VecSnap struct {
+	Name  string `json:"name"`
+	Index int    `json:"index"`
+	Value uint64 `json:"value"`
+}
+
+// HistogramSnap is one histogram's full distribution. Bounds are the
+// inclusive upper bucket bounds; Counts has one more entry than Bounds
+// (the overflow bucket).
+type HistogramSnap struct {
+	Name   string   `json:"name"`
+	Unit   string   `json:"unit,omitempty"`
+	Count  uint64   `json:"count"`
+	Sum    int64    `json:"sum"`
+	Min    int64    `json:"min"`
+	Max    int64    `json:"max"`
+	Bounds []int64  `json:"bounds"`
+	Counts []uint64 `json:"counts"`
+}
+
+// Snapshot captures every registered metric. A nil registry snapshots to
+// the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	for _, name := range sortedNames(r.counters) {
+		c := r.counters[name]
+		s.Counters = append(s.Counters, CounterSnap{Name: name, Value: c.v})
+	}
+	for _, name := range sortedNames(r.gauges) {
+		g := r.gauges[name]
+		s.Gauges = append(s.Gauges, GaugeSnap{Name: name, Value: g.v})
+	}
+	for _, name := range sortedNames(r.vecs) {
+		v := r.vecs[name]
+		for i, val := range v.vals {
+			if val != 0 {
+				s.Vectors = append(s.Vectors, VecSnap{Name: name, Index: i, Value: val})
+			}
+		}
+	}
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
+		s.Histograms = append(s.Histograms, HistogramSnap{
+			Name:   name,
+			Unit:   h.unit,
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+			Bounds: append([]int64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+		})
+	}
+	return s
+}
+
+// Counter returns the named counter's snapshot value and whether it was
+// recorded.
+func (s Snapshot) Counter(name string) (uint64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Gauge returns the named gauge's snapshot value and whether it was
+// recorded.
+func (s Snapshot) Gauge(name string) (int64, bool) {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Histogram returns the named histogram's snapshot and whether it was
+// recorded.
+func (s Snapshot) Histogram(name string) (HistogramSnap, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramSnap{}, false
+}
