@@ -3,7 +3,8 @@
 #   make          - build + vet + test (the default gate)
 #   make verify   - the full gate: gofmt check, build, vet, test,
 #                   race-detector test, 1-iteration benchmark smoke,
-#                   JSON run-report schema smoke
+#                   JSON run-report schema smoke, span pipeline smoke,
+#                   spans-disabled zero-alloc regression
 #   make race     - go test -race ./...
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
 #                   (benchstat-compatible raw lines plus parsed metrics,
@@ -14,7 +15,7 @@ GO ?= go
 BENCHTIME ?= 3x
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke
+.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke span-smoke alloc-check
 
 all: build vet test
 
@@ -45,7 +46,23 @@ json-smoke:
 	$(GO) run ./cmd/asidisc -topo "3x3 mesh" -alg parallel -telemetry -json \
 		| $(GO) run ./cmd/reportjson > /dev/null
 
-verify: fmt-check build vet test race bench-smoke json-smoke
+# span-smoke proves the causal-trace pipeline end to end: a traced run's
+# Chrome trace-event file must load back through asitrace, and a traced
+# run report (spans section, v2 envelope) must decode.
+span-smoke:
+	$(GO) run ./cmd/asidisc -topo "3x3 mesh" -alg parallel \
+		-spans-out $${TMPDIR:-/tmp}/asi_span_smoke.json > /dev/null
+	$(GO) run ./cmd/asitrace $${TMPDIR:-/tmp}/asi_span_smoke.json > /dev/null
+	$(GO) run ./cmd/asidisc -topo "3x3 mesh" -alg parallel -spans -json \
+		| $(GO) run ./cmd/reportjson > /dev/null
+	rm -f $${TMPDIR:-/tmp}/asi_span_smoke.json
+
+# alloc-check pins the instrumentation hooks' disabled cost at zero
+# allocations on the fabric hot path.
+alloc-check:
+	$(GO) test -run 'ZeroAlloc' ./internal/fabric/
+
+verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/sim \

@@ -10,6 +10,8 @@
 //	asidisc -topo "4x4 mesh" -loss 1e-3 -retries 3
 //	asidisc -topo "4x4 mesh" -retries 3 -flap 0,50,100
 //	asidisc -topo "3x3 mesh" -telemetry -json   # machine-readable run report
+//	asidisc -topo "3x3 mesh" -spans             # causal span Gantt + critical path
+//	asidisc -topo "3x3 mesh" -spans-out t.json  # Chrome/Perfetto trace (see asitrace)
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -40,6 +43,8 @@ func main() {
 	flapSpec := flag.String("flap", "", "flap a link: \"link,at_us,dur_us\" (see -trace for link ids)")
 	tele := flag.Bool("telemetry", false, "collect run telemetry (per-phase FM histograms, fabric counters)")
 	jsonOut := flag.Bool("json", false, "emit a machine-readable run report on stdout")
+	spans := flag.Bool("spans", false, "trace causal PI-4 spans and print the FM timeline report")
+	spansOut := flag.String("spans-out", "", "trace causal spans and write a Chrome trace-event JSON file (implies span tracing)")
 	flag.Parse()
 
 	fail := func(code int, err error) {
@@ -82,11 +87,27 @@ func main() {
 	if *tele {
 		opts = append(opts, experiment.WithTelemetry())
 	}
+	if *spans || *spansOut != "" {
+		opts = append(opts, experiment.WithSpans())
+	}
 	cfg, err := experiment.NewConfig(*topoName, kind, opts...)
 	if err != nil {
 		fail(2, err)
 	}
 	out := experiment.RunConfig(cfg)
+
+	if *spansOut != "" && out.Spans != nil {
+		fh, err := os.Create(*spansOut)
+		if err != nil {
+			fail(1, err)
+		}
+		if err := span.WriteChrome(fh, *out.Spans); err != nil {
+			fail(1, err)
+		}
+		if err := fh.Close(); err != nil {
+			fail(1, err)
+		}
+	}
 
 	if *jsonOut {
 		if err := experiment.NewRunReport(out).JSON(os.Stdout); err != nil {
@@ -140,6 +161,22 @@ func main() {
 		fmt.Println("\nfabric trace:")
 		if err := buf.WriteText(os.Stdout); err != nil {
 			fail(1, err)
+		}
+		if n := buf.Dropped(); n > 0 {
+			fmt.Printf("trace truncated: %d events dropped (raise -trace beyond %d)\n", n, *traceN)
+		}
+	}
+	if *spans && out.Spans != nil {
+		a, err := span.Analyze(*out.Spans)
+		if err != nil {
+			fail(1, err)
+		}
+		fmt.Println("\ncausal spans:")
+		if err := span.WriteReport(os.Stdout, a, span.GanttOptions{}); err != nil {
+			fail(1, err)
+		}
+		if out.Spans.Dropped > 0 {
+			fmt.Printf("span log truncated: %d spans dropped\n", out.Spans.Dropped)
 		}
 	}
 }

@@ -1,0 +1,59 @@
+// Command asitrace reconstructs the FM timeline from a Chrome
+// trace-event file written by `asidisc -spans-out`: it renders the
+// per-request ASCII Gantt chart, extracts the critical path through the
+// FM's serial work queue, and totals time by span kind. The same file
+// loads unmodified in Perfetto or chrome://tracing for interactive
+// inspection.
+//
+// Usage:
+//
+//	asidisc -topo "3x3 mesh" -alg parallel -spans-out t.json
+//	asitrace t.json
+//	asitrace -width 120 -rows 40 t.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/span"
+)
+
+func main() {
+	width := flag.Int("width", 0, "Gantt chart width in cells (0 = default)")
+	rows := flag.Int("rows", 0, "max request rows per run (0 = unlimited)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: %s [flags] trace.json\n", os.Args[0])
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	fh, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer fh.Close()
+	l, err := span.ReadChrome(fh)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	a, err := span.Analyze(l)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := span.WriteReport(os.Stdout, a, span.GanttOptions{Width: *width, MaxRows: *rows}); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if l.Dropped > 0 {
+		fmt.Printf("span log truncated: %d spans dropped\n", l.Dropped)
+	}
+}

@@ -1,7 +1,8 @@
 // Command reportjson validates a machine-readable run report on stdin:
 // it decodes the envelope strictly (unknown fields rejected), checks the
-// schema version and table shapes, and prints a one-line summary. It is
-// the JSON-schema smoke check wired into `make verify`:
+// schema version, table shapes and span-log invariants, and prints a
+// one-line summary. It is the JSON-schema smoke check wired into
+// `make verify`:
 //
 //	asidisc -topo "3x3 mesh" -telemetry -json | reportjson
 //	asibench -exp table1 -json | reportjson
@@ -24,6 +25,10 @@ func main() {
 	if rr.Telemetry != nil {
 		histograms = len(rr.Telemetry.Histograms)
 	}
-	fmt.Printf("ok: schema=%s reports=%d result=%v telemetry-histograms=%d\n",
-		rr.Schema, len(rr.Reports), rr.Result != nil, histograms)
+	spans := 0
+	if rr.Spans != nil {
+		spans = len(rr.Spans.Spans)
+	}
+	fmt.Printf("ok: schema=%s reports=%d result=%v telemetry-histograms=%d spans=%d\n",
+		rr.Schema, len(rr.Reports), rr.Result != nil, histograms, spans)
 }

@@ -95,6 +95,12 @@ func (p AppData) WireSize() int { return p.Bytes }
 type Packet struct {
 	Header  RouteHeader
 	Payload Payload
+	// Span is the causal-trace request ID riding with the packet (zero
+	// when tracing is off). It is simulator metadata, not an on-the-wire
+	// field: Encode/Decode ignore it, Clone carries it, and devices copy
+	// it from a PI-4 request into the completion so the return trip is
+	// attributed to the same request span.
+	Span uint64
 }
 
 // packetTrailerSize is the link-layer CRC appended to every packet.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/route"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
@@ -57,6 +58,14 @@ type Options struct {
 	// disables recording entirely; enabling it never alters simulated
 	// behaviour.
 	Telemetry *telemetry.Registry
+	// Spans, when non-nil, records the causal life of every FM-issued
+	// PI-4 request — run bands, request/attempt/backoff spans and FM
+	// queue/service intervals — into the given tracer. Attach the same
+	// tracer to the fabric (Fabric.SetSpanTracer) to also capture
+	// per-hop wire, queueing and device-service spans. Nil (the
+	// default) disables recording entirely; enabling it never alters
+	// simulated behaviour.
+	Spans *span.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -125,6 +134,10 @@ type request struct {
 	// retryGen snapshots the run generation when a retry backoff is
 	// armed, so backoffs from a superseded run recognize themselves.
 	retryGen uint64
+	// span/attemptSpan are the causal-trace handles for this request and
+	// its in-flight attempt; zero unless Options.Spans is set.
+	span        span.ID
+	attemptSpan span.ID
 }
 
 // workKind classifies FM processing work items.
@@ -145,6 +158,9 @@ type work struct {
 	pi4  asi.PI4
 	pi5  asi.PI5
 	sync asi.FMSync
+	// enqAt stamps when the item entered the FM queue, for the
+	// fm-queue span; populated only when span tracing is on.
+	enqAt sim.Time
 }
 
 // driver is a discovery algorithm plugged into the Manager. The Manager
@@ -232,6 +248,14 @@ type Manager struct {
 	// Options.Telemetry was set.
 	tel *fmTelemetry
 
+	// sp is the causal span tracer, nil unless Options.Spans was set;
+	// runSpan is the open phase band of the current run, and retryReqs
+	// tracks requests parked in backoff windows so a superseding run can
+	// close their spans (populated only when sp is non-nil).
+	sp        *span.Tracer
+	runSpan   span.ID
+	retryReqs map[*request]struct{}
+
 	// runGen identifies the current discovery run; retry timers armed in
 	// an earlier run recognize themselves as orphaned and do nothing.
 	runGen uint64
@@ -256,6 +280,10 @@ func NewManager(f *fabric.Fabric, dev *fabric.Device, opt Options) *Manager {
 	}
 	if opt.Telemetry != nil {
 		m.tel = newFMTelemetry(opt.Telemetry)
+	}
+	if opt.Spans != nil {
+		m.sp = opt.Spans
+		m.retryReqs = make(map[*request]struct{})
 	}
 	m.workTimer = m.e.NewTimer(m.completeWork)
 	m.timeoutFn = func(_ *sim.Engine, arg any) { m.onTimeout(arg.(*request)) }
@@ -333,6 +361,9 @@ func (m *Manager) HandlePacket(port int, pkt *asi.Packet) {
 		if m.tel != nil {
 			m.tel.rtt[req.kind].Observe(int64(m.e.Now().Sub(req.sentAt)))
 		}
+		if m.sp != nil {
+			m.sp.End(req.attemptSpan, m.e.Now(), span.StatusOK)
+		}
 		m.enqueue(work{kind: wCompletion, req: req, pi4: pl})
 	case asi.PI5:
 		m.res.PacketsReceived++
@@ -357,6 +388,9 @@ func (m *Manager) HandlePacket(port int, pkt *asi.Packet) {
 
 // enqueue adds a work item to the FM's serial processor.
 func (m *Manager) enqueue(w work) {
+	if m.sp != nil {
+		w.enqAt = m.e.Now()
+	}
 	m.queue.Push(w)
 	if m.tel != nil {
 		m.tel.queueDepth.SetMax(int64(m.queue.Len()))
@@ -392,6 +426,9 @@ func (m *Manager) completeWork(*sim.Engine) {
 	if m.tel != nil {
 		m.tel.service[w.kind].Observe(int64(m.curCost))
 	}
+	if m.sp != nil {
+		m.recordWorkSpans(w)
+	}
 	if m.discovering {
 		m.res.Processed++
 		m.res.FMBusy += m.curCost
@@ -410,6 +447,9 @@ func (m *Manager) handleWork(w work) {
 		m.drv.start()
 	case wCompletion:
 		m.applyCompletion(w.req, w.pi4)
+		if m.sp != nil {
+			m.sp.End(w.req.span, m.e.Now(), span.StatusOK)
+		}
 	case wTimeout:
 		m.res.TimedOut++
 		if m.tel != nil {
@@ -533,6 +573,13 @@ func (m *Manager) applyCompletion(req *request, resp asi.PI4) {
 
 // applyFailure handles a timed-out request like an error completion.
 func (m *Manager) applyFailure(req *request) {
+	if m.sp != nil {
+		st := span.StatusTimeout
+		if m.opt.MaxRetries > 0 {
+			st = span.StatusGaveUp
+		}
+		m.sp.End(req.span, m.e.Now(), st)
+	}
 	switch req.kind {
 	case reqProbeGeneral:
 		m.drv.onGeneral(req, nil, false, false)
@@ -567,7 +614,16 @@ func (m *Manager) applyFailure(req *request) {
 // the device is unreachable by source routing from this FM.
 func (m *Manager) send(req *request, payload asi.PI4) bool {
 	req.payload = payload
-	return m.issue(req)
+	if m.sp != nil {
+		m.beginRequestSpan(req)
+	}
+	if !m.issue(req) {
+		if m.sp != nil {
+			m.sp.End(req.span, m.e.Now(), span.StatusError)
+		}
+		return false
+	}
+	return true
 }
 
 // issue puts one attempt of req on the wire: fresh tag, pending-table
@@ -592,6 +648,12 @@ func (m *Manager) issue(req *request) bool {
 	}
 	req.timeout = m.e.AfterArg(window, m.timeoutFn, req)
 	req.sentAt = m.e.Now()
+	if m.sp != nil {
+		m.beginAttemptSpan(req)
+		// Stamp the request span into the packet so the fabric's
+		// per-hop spans parent to it; completions carry it back.
+		pkt.Span = uint64(req.span)
+	}
 	m.dev.Inject(pkt)
 	return true
 }
@@ -606,6 +668,9 @@ func (m *Manager) onTimeout(req *request) {
 		return
 	}
 	delete(m.pending, req.tag)
+	if m.sp != nil {
+		m.sp.End(req.attemptSpan, m.e.Now(), span.StatusTimeout)
+	}
 	m.enqueue(work{kind: wTimeout, req: r})
 }
 
@@ -633,6 +698,11 @@ func (m *Manager) retryRequest(req *request) bool {
 	}
 	req.retryGen = m.runGen
 	m.retryPending++
+	if m.sp != nil {
+		now := m.e.Now()
+		m.sp.Complete(span.KindBackoff, req.span, now, now.Add(backoff), span.StatusOK)
+		m.retryReqs[req] = struct{}{}
+	}
 	m.e.AfterArg(backoff, m.retryFn, req)
 	return true
 }
@@ -644,6 +714,9 @@ func (m *Manager) onRetryBackoff(req *request) {
 		return // a new run started; this request belongs to the old one
 	}
 	m.retryPending--
+	if m.sp != nil {
+		delete(m.retryReqs, req)
+	}
 	if !m.issue(req) {
 		// The path stopped encoding (cannot normally happen: the
 		// original attempt encoded the same path); fail terminally.
@@ -784,6 +857,11 @@ func (m *Manager) beginRun() {
 	for _, r := range m.pending {
 		m.e.Cancel(r.timeout)
 	}
+	if m.sp != nil {
+		m.cancelRequestSpans()
+		m.sp.End(m.runSpan, m.e.Now(), span.StatusCanceled)
+		m.runSpan = m.beginRunSpan(m.opt.Algorithm.String())
+	}
 	m.pending = make(map[uint32]*request)
 	// Orphan any armed retry timers: their closures check runGen.
 	m.runGen++
@@ -809,6 +887,10 @@ func (m *Manager) checkDone() {
 func (m *Manager) finishRun() {
 	m.discovering = false
 	m.partialRun = false
+	if m.sp != nil {
+		m.sp.End(m.runSpan, m.e.Now(), span.StatusOK)
+		m.runSpan = 0
+	}
 	m.res.End = m.e.Now()
 	m.res.Duration = m.res.End.Sub(m.res.Start)
 	m.res.Devices = m.db.NumNodes()

@@ -26,6 +26,9 @@ import (
 func (m *Manager) beginPartialRun() {
 	m.discovering = true
 	m.partialRun = true
+	if m.sp != nil {
+		m.runSpan = m.beginRunSpan("partial")
+	}
 	m.res = Result{Algorithm: Partial, Start: m.e.Now()}
 }
 

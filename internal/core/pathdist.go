@@ -6,6 +6,7 @@ import (
 	"repro/internal/asi"
 	"repro/internal/route"
 	"repro/internal/sim"
+	"repro/internal/span"
 )
 
 // Path distribution: after discovery the FM derives source routes from its
@@ -52,6 +53,9 @@ func (m *Manager) DistributeEventRoutes(onDone func(DistResult)) {
 		panic("core: DistributeEventRoutes during discovery")
 	}
 	m.dist = &distState{res: DistResult{Start: m.e.Now()}, onDone: onDone}
+	if m.sp != nil {
+		m.dist.span = m.beginRunSpan("event-routes")
+	}
 	for _, n := range m.db.Nodes() {
 		if n.DSN == m.dev.DSN {
 			continue
@@ -86,6 +90,9 @@ type distState struct {
 	res         DistResult
 	outstanding int
 	onDone      func(DistResult)
+	// span is the distribution round's phase band, zero unless span
+	// tracing is on; the round's write requests parent to it.
+	span span.ID
 }
 
 // onWriteDone is called by the Manager when a reqWrite completion (or
@@ -106,6 +113,9 @@ func (m *Manager) onWriteDone(req *request, ok bool) {
 func (m *Manager) finishDist() {
 	d := m.dist
 	m.dist = nil
+	if m.sp != nil {
+		m.sp.End(d.span, m.e.Now(), span.StatusOK)
+	}
 	d.res.End = m.e.Now()
 	d.res.Duration = d.res.End.Sub(d.res.Start)
 	if d.onDone != nil {
@@ -130,6 +140,9 @@ func (m *Manager) DistributePathTables(onDone func(DistResult)) {
 		panic("core: DistributePathTables during discovery")
 	}
 	m.dist = &distState{res: DistResult{Start: m.e.Now()}, onDone: onDone}
+	if m.sp != nil {
+		m.dist.span = m.beginRunSpan("path-tables")
+	}
 	table := m.EndpointPathTable()
 	for _, n := range m.db.Nodes() {
 		if n.Type != asi.DeviceEndpoint {

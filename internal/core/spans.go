@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/span"
+)
+
+// Span instrumentation for the fabric manager. Every hook below is
+// reached only behind a single `m.sp != nil` guard in the hot path, so
+// disabled tracing costs one pointer compare and zero allocations — the
+// same contract the telemetry hooks honor. The span topology mirrors
+// the paper's FM timeline:
+//
+//	run (discovery run, partial assimilation, or distribution round)
+//	└── request (one PI-4, issue to terminal completion/failure)
+//	    ├── attempt (per transmission; retries nest under the SAME
+//	    │            request with increasing Attempt numbers)
+//	    ├── backoff (retry wait windows)
+//	    ├── fm-queue / fm-service (FM serial-processor phases; the
+//	    │            service span that *issued* a request carries the
+//	    │            issuing request as parent, which is what lets the
+//	    │            analyzer recover the causal dependency chain)
+//	    └── per-hop fabric spans recorded by internal/fabric via the
+//	        request ID stamped into the packet header
+//
+// The FM is a serial processor, so its service spans are disjoint; a
+// request that begins at time t was issued by whichever work item was
+// in service at t. span.Analyze exploits exactly that containment to
+// extract the critical path without any extra bookkeeping here.
+
+// beginRequestSpan opens the request span for a fresh (never-issued)
+// request and parents it to the active phase band.
+func (m *Manager) beginRequestSpan(req *request) {
+	parent := m.runSpan
+	if m.dist != nil {
+		parent = m.dist.span
+	}
+	id := m.sp.Begin(span.KindRequest, parent, m.e.Now())
+	if s := m.sp.Span(id); s != nil {
+		s.Name = req.kind.label()
+		if req.dsn != 0 {
+			s.Device = req.dsn.String()
+		} else {
+			// Probes target whatever answers beyond srcDSN's srcPort;
+			// name the near side of the link being explored.
+			s.Device = fmt.Sprintf("%s:%d", req.srcDSN, req.srcPort)
+		}
+	}
+	req.span = id
+}
+
+// beginAttemptSpan opens one transmission attempt under its request.
+func (m *Manager) beginAttemptSpan(req *request) {
+	id := m.sp.Begin(span.KindAttempt, req.span, m.e.Now())
+	if s := m.sp.Span(id); s != nil {
+		s.Name = req.kind.label()
+		s.Tag = req.tag
+		s.Attempt = req.attempt
+	}
+	req.attemptSpan = id
+}
+
+// workSpanParent resolves which span owns a work item's FM processing:
+// the request it completes, else the active phase band.
+func (m *Manager) workSpanParent(w work) span.ID {
+	if w.req != nil && w.req.span != 0 {
+		return w.req.span
+	}
+	if m.dist != nil {
+		return m.dist.span
+	}
+	return m.runSpan
+}
+
+// recordWorkSpans records the FM queue-wait and service intervals of
+// the work item that just finished processing. Called from completeWork
+// before the item's side effects run, so the service span's ID precedes
+// any request it issues.
+func (m *Manager) recordWorkSpans(w work) {
+	now := m.e.Now()
+	start := now.Add(-m.curCost)
+	parent := m.workSpanParent(w)
+	if w.enqAt < start {
+		m.sp.Complete(span.KindFMQueue, parent, w.enqAt, start, span.StatusOK)
+	}
+	id := m.sp.Complete(span.KindFMService, parent, start, now, span.StatusOK)
+	if s := m.sp.Span(id); s != nil {
+		s.Name = w.kind.label()
+	}
+}
+
+// beginRunSpan opens a phase band and returns its ID.
+func (m *Manager) beginRunSpan(name string) span.ID {
+	id := m.sp.Begin(span.KindRun, 0, m.e.Now())
+	if s := m.sp.Span(id); s != nil {
+		s.Name = name
+	}
+	return id
+}
+
+// cancelRequestSpans force-ends the spans of every request a
+// superseding run orphans: still-pending requests and requests parked
+// in retry-backoff windows. End is idempotent, so requests that already
+// resolved are untouched.
+func (m *Manager) cancelRequestSpans() {
+	now := m.e.Now()
+	for _, r := range m.pending {
+		m.sp.End(r.attemptSpan, now, span.StatusCanceled)
+		m.sp.End(r.span, now, span.StatusCanceled)
+	}
+	for r := range m.retryReqs {
+		m.sp.End(r.span, now, span.StatusCanceled)
+	}
+	if len(m.retryReqs) > 0 {
+		m.retryReqs = make(map[*request]struct{})
+	}
+}

@@ -46,6 +46,11 @@ type Config struct {
 	// engine statistics, snapshotted into Outcome.Telemetry. Enabling it
 	// never changes any simulated metric.
 	Telemetry bool
+	// Spans enables causal span tracing: every FM-issued PI-4 request
+	// gets a request span with per-attempt, per-hop, queueing and
+	// device-service child spans, snapshotted into Outcome.Spans.
+	// Enabling it never changes any simulated metric.
+	Spans bool
 }
 
 // Option adjusts a Config under construction in NewConfig.
@@ -89,6 +94,11 @@ func WithTrace(rec trace.Recorder) Option {
 // WithTelemetry enables per-run metric collection.
 func WithTelemetry() Option {
 	return func(c *Config) { c.Telemetry = true }
+}
+
+// WithSpans enables causal span tracing for the run.
+func WithSpans() Option {
+	return func(c *Config) { c.Spans = true }
 }
 
 // NewConfig builds and validates a run configuration.

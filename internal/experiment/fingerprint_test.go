@@ -88,3 +88,48 @@ func TestTelemetryDoesNotPerturbSimulation(t *testing.T) {
 		}
 	}
 }
+
+// TestSpansDoNotPerturbSimulation repeats the non-perturbation guarantee
+// for causal span tracing: switching spans on changes no simulated metric
+// in any of the 50 fingerprint scenarios.
+func TestSpansDoNotPerturbSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50-scenario sweep")
+	}
+	plain := fingerprintConfigs(t)
+	traced := make([]Config, len(plain))
+	for i, cfg := range plain {
+		cfg.Spans = true
+		traced[i] = cfg
+	}
+	base := RunConfigAll(plain, 0)
+	meas := RunConfigAll(traced, 0)
+	for i := range base {
+		name := fmt.Sprintf("%s/%v/%v/seed%d", plain[i].Topology,
+			plain[i].Algorithm, plain[i].Change, plain[i].Seed)
+		a, b := base[i], meas[i]
+		if (a.Err == nil) != (b.Err == nil) {
+			t.Errorf("%s: error mismatch: %v vs %v", name, a.Err, b.Err)
+			continue
+		}
+		if !reflect.DeepEqual(a.Result, b.Result) {
+			t.Errorf("%s: Result diverged:\n off %+v\n on  %+v", name, a.Result, b.Result)
+		}
+		if !reflect.DeepEqual(a.Initial, b.Initial) {
+			t.Errorf("%s: Initial diverged", name)
+		}
+		if a.ActiveNodes != b.ActiveNodes || a.PhysicalNodes != b.PhysicalNodes {
+			t.Errorf("%s: node counts diverged: %d/%d vs %d/%d", name,
+				a.ActiveNodes, a.PhysicalNodes, b.ActiveNodes, b.PhysicalNodes)
+		}
+		if a.Events != b.Events {
+			t.Errorf("%s: event counts diverged: %d vs %d", name, a.Events, b.Events)
+		}
+		if b.Spans == nil {
+			t.Errorf("%s: traced run carries no span log", name)
+		}
+		if a.Spans != nil {
+			t.Errorf("%s: plain run unexpectedly carries a span log", name)
+		}
+	}
+}

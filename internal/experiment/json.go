@@ -6,12 +6,17 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 )
 
 // RunReportSchema identifies the JSON envelope version emitted by the
-// CLIs. Consumers should reject documents whose schema field differs.
-const RunReportSchema = "asi-discovery/run-report/v1"
+// CLIs. v2 adds the optional spans section; v1 documents (which predate
+// it) still decode. Consumers should reject any other schema string.
+const (
+	RunReportSchema   = "asi-discovery/run-report/v2"
+	RunReportSchemaV1 = "asi-discovery/run-report/v1"
+)
 
 // RunReport is the machine-readable envelope for simulation output: run
 // identification, the measured discovery, any rendered report tables,
@@ -37,6 +42,9 @@ type RunReport struct {
 	Reports []Report `json:"reports,omitempty"`
 	// Telemetry is the run's metric snapshot when collection was enabled.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
+	// Spans is the run's causal span log when span tracing was enabled
+	// (v2 only; a v1 document carrying spans is rejected).
+	Spans *span.Log `json:"spans,omitempty"`
 	// Events counts processed simulation events; EventsPerSec is the
 	// simulator's wall-clock throughput where the caller measured one.
 	Events       uint64  `json:"events,omitempty"`
@@ -55,6 +63,7 @@ func NewRunReport(o Outcome, reports ...Report) RunReport {
 		ActiveNodes:   o.ActiveNodes,
 		Reports:       reports,
 		Telemetry:     o.Telemetry,
+		Spans:         o.Spans,
 		Events:        o.Events,
 	}
 	if o.Err != nil {
@@ -87,11 +96,23 @@ func DecodeRunReport(r io.Reader) (RunReport, error) {
 	if err := dec.Decode(&rr); err != nil {
 		return RunReport{}, fmt.Errorf("experiment: decoding run report: %w", err)
 	}
-	if rr.Schema != RunReportSchema {
+	switch rr.Schema {
+	case RunReportSchema:
+	case RunReportSchemaV1:
+		if rr.Spans != nil {
+			return RunReport{}, fmt.Errorf("experiment: run report schema %q carries spans, which require %q",
+				RunReportSchemaV1, RunReportSchema)
+		}
+	default:
 		return RunReport{}, fmt.Errorf("experiment: run report schema %q, want %q", rr.Schema, RunReportSchema)
 	}
 	if rr.Result == nil && rr.Error == "" && len(rr.Reports) == 0 {
 		return RunReport{}, fmt.Errorf("experiment: run report carries no result, error or reports")
+	}
+	if rr.Spans != nil {
+		if err := span.Validate(*rr.Spans); err != nil {
+			return RunReport{}, fmt.Errorf("experiment: run report spans: %w", err)
+		}
 	}
 	for _, rep := range rr.Reports {
 		for i, row := range rep.Rows {

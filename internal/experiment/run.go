@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/trace"
@@ -119,7 +120,16 @@ type Outcome struct {
 	// Telemetry is the run's end-of-run metric snapshot, non-nil only
 	// when Config.Telemetry was set.
 	Telemetry *telemetry.Snapshot
+	// Spans is the run's causal span log, non-nil only when
+	// Config.Spans was set.
+	Spans *span.Log
 }
+
+// spanCap bounds the per-run span log. A full discovery of the largest
+// Table 1 topology stays well under this; if a pathological fault plan
+// exceeds it, the tracer counts the overflow in Log.Dropped instead of
+// growing without bound.
+const spanCap = 1 << 20
 
 // totalEvents accumulates Engine.Processed across every Run, including
 // runs executing concurrently under RunAll's worker pool.
@@ -153,14 +163,22 @@ func RunConfig(cfg Config) (out Outcome) {
 		reg       *telemetry.Registry
 		wallStart time.Time
 		f         *fabric.Fabric
+		sp        *span.Tracer
 	)
 	if cfg.Telemetry {
 		reg = telemetry.New()
 		wallStart = time.Now()
 	}
+	if cfg.Spans {
+		sp = span.New(spanCap)
+	}
 	defer func() {
 		out.Events = e.Processed
 		totalEvents.Add(e.Processed)
+		if sp != nil {
+			l := sp.Log()
+			out.Spans = &l
+		}
 		if reg == nil {
 			return
 		}
@@ -185,6 +203,9 @@ func RunConfig(cfg Config) (out Outcome) {
 	if reg != nil {
 		f.EnableTelemetry(reg)
 	}
+	if sp != nil {
+		f.SetSpanTracer(sp)
+	}
 	plan := fabric.FaultPlan{}
 	switch {
 	case cfg.Faults != nil:
@@ -203,6 +224,7 @@ func RunConfig(cfg Config) (out Outcome) {
 		MaxRetries:   cfg.MaxRetries,
 		RetryBackoff: cfg.RetryBackoff,
 		Telemetry:    reg,
+		Spans:        sp,
 	})
 
 	// Pick the changed switch up front (never the FM's host switch,

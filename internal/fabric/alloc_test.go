@@ -104,6 +104,39 @@ func mustPath(t *testing.T, tp *topo.Topology, src, dst topo.NodeID) route.Path 
 	return p
 }
 
+// TestLinkKickSpanTaggedZeroAlloc pins the span tracer's disabled cost at
+// zero: a packet carrying a causal-trace request ID (pkt.Span != 0)
+// crosses the fabric with no span tracer attached, and every hook —
+// queue stamping, wire spans, stall instants, drop instants — must
+// vanish behind the nil guard without a single allocation.
+func TestLinkKickSpanTaggedZeroAlloc(t *testing.T) {
+	tp := topo.Mesh(3, 3)
+	e := sim.NewEngine()
+	f, err := New(e, tp, Config{}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eps := tp.Endpoints()
+	src := f.Device(eps[0])
+	p := mustPath(t, tp, eps[0], eps[len(eps)-1])
+	hdr, err := route.Header(p, asi.PIApplication)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt := &asi.Packet{Header: hdr, Payload: asi.AppData{Bytes: 256}, Span: 7}
+	for i := 0; i < 32; i++ {
+		reinject(src, pkt, hdr)
+		e.Run()
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		reinject(src, pkt, hdr)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state kick of a span-tagged packet with spans off allocates %.1f per run, want 0", allocs)
+	}
+}
+
 // TestLinkKickTelemetryEnabledZeroAlloc repeats the strict reused-packet
 // hot-path check with telemetry recording ON: per-link/per-VC counters
 // are indexed increments into pre-sized slices, so enabling them must

@@ -6,6 +6,7 @@ import (
 	"repro/internal/asi"
 	"repro/internal/route"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -62,6 +63,11 @@ type pendingPI4 struct {
 	req  asi.PI4
 	hdr  asi.RouteHeader
 	port int
+	// span is the causal-trace request ID carried by the request packet
+	// (copied into the completion); queuedAt stamps when the request
+	// entered the service queue. Both zero unless span tracing is on.
+	span     uint64
+	queuedAt sim.Time
 }
 
 // routeJob is the per-packet state of one deferred cut-through routing
@@ -299,7 +305,12 @@ func (d *Device) consume(port int, pkt *asi.Packet) {
 	d.f.counters.Delivered[pkt.Header.PI]++
 	d.f.traceEvent(trace.Deliver, d, port, pkt, "")
 	if p4, ok := pkt.Payload.(asi.PI4); ok && !p4.Op.IsCompletion() {
-		d.servicePI4(pendingPI4{req: p4, hdr: pkt.Header, port: port})
+		pend := pendingPI4{req: p4, hdr: pkt.Header, port: port}
+		if d.f.spans != nil {
+			pend.span = pkt.Span
+			pend.queuedAt = d.f.Engine.Now()
+		}
+		d.servicePI4(pend)
 		return
 	}
 	if d.handler != nil {
@@ -361,6 +372,18 @@ func (d *Device) completePI4(p pendingPI4) {
 	}
 	out := &asi.Packet{Header: p.hdr.Reverse(), Payload: resp}
 	out.Header.PI = asi.PI4DeviceManagement
+	if d.f.spans != nil && p.span != 0 {
+		// Device-side timeline: queue wait (if any) then the T_Device
+		// service interval, both under the owning request; the completion
+		// carries the span ID back so the return hops attribute too.
+		out.Span = p.span
+		now := d.f.Engine.Now()
+		start := now.Add(-d.f.deviceService())
+		if p.queuedAt < start {
+			d.f.spanComplete(span.KindDevQueue, out, p.queuedAt, start, d, p.port)
+		}
+		d.f.spanComplete(span.KindDevService, out, start, now, d, p.port)
+	}
 	d.transmit(p.port, out)
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/asi"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -163,6 +164,12 @@ type Fabric struct {
 	tracer   trace.Recorder
 	faults   *faultState
 	tel      *fabricTelemetry
+
+	// spans is the causal span tracer (SetSpanTracer), nil when
+	// detached; linkQueued stamps when traced packets entered a VC
+	// queue, allocated only while spans is set.
+	spans      *span.Tracer
+	linkQueued map[*asi.Packet]sim.Time
 }
 
 // New instantiates the fabric described by t on the given engine. All
@@ -315,6 +322,7 @@ func (f *Fabric) drop(r DropReason) {
 func (f *Fabric) dropTraced(r DropReason, d *Device, port int, pkt *asi.Packet) {
 	f.drop(r)
 	f.traceEvent(trace.Drop, d, port, pkt, r.String())
+	f.spanDrop(r, d, port, pkt)
 }
 
 // vcOf maps a packet to its virtual channel: multicast always rides the

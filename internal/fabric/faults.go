@@ -176,6 +176,7 @@ func (f *Fabric) faultDrop(l *link, d *Device, pkt *asi.Packet) bool {
 			f.tel.linkFault.Inc(l.idx)
 		}
 		f.traceEvent(trace.Drop, d, l.portOf(d), pkt, DropFaultInjected.String())
+		f.spanDrop(DropFaultInjected, d, l.portOf(d), pkt)
 	}
 	return drop
 }

@@ -3,6 +3,7 @@ package fabric
 import (
 	"repro/internal/asi"
 	"repro/internal/sim"
+	"repro/internal/span"
 	"repro/internal/trace"
 )
 
@@ -108,7 +109,12 @@ func (l *link) setUp(up bool) {
 	if !up {
 		for i := range l.half {
 			h := &l.half[i]
+			sender := l.a
+			if i == 1 {
+				sender = l.b
+			}
 			for vc := range h.queues {
+				l.f.spanFlushQueue(&h.queues[vc], sender, l.portOf(sender))
 				h.queues[vc].Clear()
 				h.credits[vc] = l.f.cfg.CreditsPerVC
 			}
@@ -121,6 +127,7 @@ func (l *link) setUp(up bool) {
 func (l *link) send(d *Device, pkt *asi.Packet) {
 	if !l.up {
 		l.f.drop(DropInactivePort)
+		l.f.spanDrop(DropInactivePort, d, l.portOf(d), pkt)
 		return
 	}
 	if l.f.faultDrop(l, d, pkt) {
@@ -128,6 +135,9 @@ func (l *link) send(d *Device, pkt *asi.Packet) {
 	}
 	h := &l.half[l.halfFrom(d)]
 	vc := l.f.vcOf(pkt)
+	if l.f.spans != nil {
+		l.f.spanQueueStamp(pkt)
+	}
 	h.queues[vc].Push(pkt)
 	l.kick(d)
 }
@@ -165,6 +175,14 @@ func (l *link) kick(d *Device) {
 			if l.f.tel != nil {
 				l.f.tel.linkStall.Inc(l.idx)
 			}
+			if l.f.tracing() {
+				l.f.traceEvent(trace.Stall, d, l.portOf(d), h.queues[vc].At(0), vcDetails[vc])
+			}
+			if l.f.spans != nil {
+				if head := h.queues[vc].At(0); head.Span != 0 {
+					l.f.spanInstant(span.KindStall, head, d, l.portOf(d), vcDetails[vc])
+				}
+			}
 			continue
 		}
 		pkt := h.queues[vc].Pop()
@@ -180,7 +198,11 @@ func (l *link) kick(d *Device) {
 		h.busyUntil = e.Now().Add(ser)
 		l.f.counters.TxPackets++
 		l.f.counters.TxBytes += uint64(pkt.WireSize())
-		arrive := ser + l.f.cfg.Propagation + l.f.faultDelay(l)
+		extra := l.f.faultDelay(l)
+		arrive := ser + l.f.cfg.Propagation + extra
+		if l.f.spans != nil {
+			l.f.spanWire(pkt, d, l.portOf(d), arrive, extra)
+		}
 		fl := h.freeFlights
 		if fl == nil {
 			fl = &flight{}

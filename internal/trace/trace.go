@@ -27,25 +27,31 @@ const (
 	// Fault: the installed fault plan acted (link flap window opened or
 	// closed, delayed delivery).
 	Fault
+	// Stall: a link's head-of-line packet was starved for credits — the
+	// wire sat idle for that VC solely because the receiver's buffer
+	// was full.
+	Stall
 	numKinds
 )
 
+// kindNames indexes the canonical name of every kind. The exhaustiveness
+// test walks numKinds to guarantee no Kind is ever added without a name
+// (FilterKind's fixed-size set is keyed by the same constant).
+var kindNames = [numKinds]string{
+	Inject:   "inject",
+	Transmit: "tx",
+	Deliver:  "deliver",
+	Drop:     "drop",
+	Fault:    "fault",
+	Stall:    "stall",
+}
+
 // String names the kind.
 func (k Kind) String() string {
-	switch k {
-	case Inject:
-		return "inject"
-	case Transmit:
-		return "tx"
-	case Deliver:
-		return "deliver"
-	case Drop:
-		return "drop"
-	case Fault:
-		return "fault"
-	default:
-		return fmt.Sprintf("Kind(%d)", int(k))
+	if k >= 0 && k < numKinds {
+		return kindNames[k]
 	}
+	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
 // Event is one recorded fabric occurrence.
@@ -74,18 +80,24 @@ type Recorder interface {
 }
 
 // Buffer is a capped in-memory recorder. The zero value is unbounded;
-// with Max set it keeps the first Max events and counts the rest.
+// with Max set it keeps the first Max events and counts the rest, so
+// capping is never silent — Dropped reports the overflow and WriteText
+// prints a truncation notice.
 type Buffer struct {
 	Max     int
 	Events  []Event
-	Dropped int
+	dropped int
 }
+
+// Dropped returns how many events were discarded after the buffer
+// reached its cap.
+func (b *Buffer) Dropped() int { return b.dropped }
 
 // Record implements Recorder.
 func (b *Buffer) Record(e Event) {
 	if b.Max > 0 {
 		if len(b.Events) >= b.Max {
-			b.Dropped++
+			b.dropped++
 			return
 		}
 		if b.Events == nil {
@@ -104,8 +116,8 @@ func (b *Buffer) WriteText(w io.Writer) error {
 			return err
 		}
 	}
-	if b.Dropped > 0 {
-		if _, err := fmt.Fprintf(w, "... %d further events not recorded (buffer cap %d)\n", b.Dropped, b.Max); err != nil {
+	if b.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "... %d further events not recorded (buffer cap %d)\n", b.dropped, b.Max); err != nil {
 			return err
 		}
 	}

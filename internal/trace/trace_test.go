@@ -17,8 +17,8 @@ func TestBufferRecordsAndCaps(t *testing.T) {
 	for i := 0; i < 5; i++ {
 		b.Record(ev(Inject, 4))
 	}
-	if len(b.Events) != 2 || b.Dropped != 3 {
-		t.Errorf("events=%d dropped=%d", len(b.Events), b.Dropped)
+	if len(b.Events) != 2 || b.Dropped() != 3 {
+		t.Errorf("events=%d dropped=%d", len(b.Events), b.Dropped())
 	}
 	unbounded := &Buffer{}
 	for i := 0; i < 100; i++ {
@@ -68,10 +68,27 @@ func TestFilters(t *testing.T) {
 	}
 }
 
+// TestKindStrings is the exhaustiveness gate over numKinds: every Kind
+// must have a distinct real name (not the Kind(n) fallback) and pass
+// FilterKind's fixed-size set, so adding a Kind without updating the
+// name table fails here instead of silently misrendering.
 func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
 	for k := Kind(0); k < numKinds; k++ {
-		if k.String() == "" {
-			t.Error("empty kind string")
+		name := k.String()
+		if name == "" || strings.HasPrefix(name, "Kind(") {
+			t.Errorf("Kind %d has no canonical name (got %q)", int(k), name)
+		}
+		if seen[name] {
+			t.Errorf("Kind name %q duplicated", name)
+		}
+		seen[name] = true
+
+		// Every kind must survive its own FilterKind round trip.
+		b := &Buffer{}
+		FilterKind(b, k).Record(Event{Kind: k})
+		if len(b.Events) != 1 {
+			t.Errorf("FilterKind lost kind %v", k)
 		}
 	}
 	if Kind(99).String() == "" || ev(Drop, 4).String() == "" {
