@@ -4,8 +4,9 @@
 #   make verify   - the full gate: gofmt check, build, vet, test,
 #                   race-detector test, 1-iteration benchmark smoke,
 #                   JSON run-report schema smoke, span pipeline smoke,
-#                   spans-disabled zero-alloc regression
+#                   spans-disabled zero-alloc regression, chaos smoke
 #   make race     - go test -race ./...
+#   make fuzz     - bounded native-fuzzing burst on the chaos harness
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
 #                   (benchstat-compatible raw lines plus parsed metrics,
 #                   with results/bench_baseline.txt embedded as the
@@ -15,7 +16,7 @@ GO ?= go
 BENCHTIME ?= 3x
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke span-smoke alloc-check
+.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke span-smoke alloc-check chaos-smoke fuzz
 
 all: build vet test
 
@@ -62,7 +63,20 @@ span-smoke:
 alloc-check:
 	$(GO) test -run 'ZeroAlloc' ./internal/fabric/
 
-verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check
+# chaos-smoke sweeps generated chaos scenarios through every paper
+# algorithm (cross-checked topology fingerprints) and the convergence
+# oracle; any failure prints a shrunk minimal reproducer.
+chaos-smoke:
+	$(GO) run ./cmd/asichaos -runs 25 -algs all
+
+# fuzz gives each native fuzz target a short bounded burst; the committed
+# corpus under internal/chaos/testdata/corpus seeds FuzzScenario.
+FUZZTIME ?= 20s
+fuzz:
+	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzGenerated$$' -fuzztime $(FUZZTIME)
+
+verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/sim \

@@ -1,0 +1,199 @@
+// Command asichaos drives the deterministic chaos harness: it generates
+// seeded scenarios (random or catalogue fabrics under loss, delay, hot
+// removals/additions and link flaps), executes them through the full
+// sim/fabric/core stack, and checks every run against the convergence
+// and conservation oracle. Failures are greedily shrunk to a minimal
+// reproducer and emitted as JSON, which -replay runs back verbatim.
+//
+// Usage:
+//
+//	asichaos -runs 25                       # quick smoke sweep
+//	asichaos -runs 50 -profile churn        # back-to-back changes mid-assimilation
+//	asichaos -runs 25 -algs all             # cross-check all paper algorithms
+//	asichaos -seed 7 -profile lossy -v      # one seed, verbose report
+//	asichaos -replay repro.json -spans      # re-run a failure, span timeline
+//	asichaos -emit-corpus internal/chaos/testdata/corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/span"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "base seed; run i uses seed+i")
+	runs := flag.Int("runs", 1, "number of generated scenarios to execute")
+	profile := flag.String("profile", "quick", "generation profile: "+strings.Join(chaos.ProfileNames(), ", "))
+	algs := flag.String("algs", "", "\"all\" cross-checks every paper algorithm per scenario (default: the scenario's own)")
+	replay := flag.String("replay", "", "replay a scenario JSON file instead of generating")
+	shrink := flag.Bool("shrink", true, "greedily shrink failing scenarios before reporting")
+	spans := flag.Bool("spans", false, "trace causal spans and print the span report (replay mode)")
+	verbose := flag.Bool("v", false, "print a line per scenario")
+	emitCorpus := flag.String("emit-corpus", "", "write the built-in corpus scenarios into a directory and exit")
+	flag.Parse()
+
+	fail := func(code int, err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(code)
+	}
+
+	if *emitCorpus != "" {
+		if err := emit(*emitCorpus); err != nil {
+			fail(1, err)
+		}
+		return
+	}
+
+	opt := chaos.Options{Telemetry: true, Spans: *spans}
+
+	if *replay != "" {
+		b, err := os.ReadFile(*replay)
+		if err != nil {
+			fail(2, err)
+		}
+		sc, err := chaos.DecodeJSON(b)
+		if err != nil {
+			fail(2, err)
+		}
+		if err := replayOne(sc, opt, *shrink); err != nil {
+			fail(1, err)
+		}
+		return
+	}
+
+	crossCheck := false
+	switch *algs {
+	case "", "scenario":
+	case "all":
+		crossCheck = true
+	default:
+		fail(2, fmt.Errorf("bad -algs %q (valid: all)", *algs))
+	}
+	p, ok := chaos.ProfileByName(*profile)
+	if !ok {
+		fail(2, fmt.Errorf("unknown profile %q (valid: %s)", *profile, strings.Join(chaos.ProfileNames(), ", ")))
+	}
+
+	failures, vacuous := 0, 0
+	for i := 0; i < *runs; i++ {
+		sc := chaos.Generate(*seed+uint64(i), p)
+		err := checkOne(sc, opt, crossCheck, &vacuous)
+		if err == nil {
+			if *verbose {
+				fmt.Printf("ok   %-16s alg=%-13s events=%d\n", sc.Name, sc.Algorithm, len(sc.Events))
+			}
+			continue
+		}
+		failures++
+		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", sc.Name, err)
+		min := sc
+		if *shrink {
+			min = chaos.Shrink(sc, func(c chaos.Scenario) bool {
+				var v int
+				return checkOne(c, opt, crossCheck, &v) != nil
+			})
+			fmt.Fprintf(os.Stderr, "shrunk to %d switches, %d events:\n",
+				scenarioSwitches(min), len(min.Events))
+		}
+		os.Stderr.Write(min.EncodeJSON())
+	}
+	fmt.Printf("%d scenarios, %d failures, %d vacuous (no trustworthy convergence comparison)\n",
+		*runs, failures, vacuous)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkOne executes a scenario (cross-checking every paper algorithm if
+// asked) and returns the oracle's verdict.
+func checkOne(sc chaos.Scenario, opt chaos.Options, crossCheck bool, vacuous *int) error {
+	if crossCheck {
+		return chaos.CrossCheck(sc, opt)
+	}
+	rep, err := chaos.Execute(sc, opt)
+	if err != nil {
+		return err
+	}
+	if rep.Vacuous() {
+		*vacuous++
+	}
+	return (chaos.Oracle{}).Check(rep)
+}
+
+// replayOne re-runs one scenario verbatim and prints its full report.
+func replayOne(sc chaos.Scenario, opt chaos.Options, shrink bool) error {
+	rep, err := chaos.Execute(sc, opt)
+	if err != nil {
+		return err
+	}
+	name := sc.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	fmt.Printf("scenario:       %s (seed %d)\n", name, sc.Seed)
+	fmt.Printf("algorithm:      %s\n", sc.Algorithm)
+	fmt.Printf("events:         %d scripted, last change at %v\n", len(sc.Events), rep.LastChange)
+	fmt.Printf("runs:           %d completed (churn run index %d, audit ran: %v)\n",
+		len(rep.Results), rep.ChurnRun, rep.AuditRan)
+	fmt.Printf("ground truth:   %d devices / %d links; post-churn DB %d / %d\n",
+		rep.WantDevices, rep.WantLinks, rep.PostChurnDevices, rep.PostChurnLinks)
+	fmt.Printf("pi5 after last: %d delivered\n", rep.PI5AfterLast)
+	fmt.Printf("fingerprint:    %#x (db %#x)\n", rep.Fingerprint, rep.DBFingerprint)
+	if rep.Vacuous() {
+		fmt.Println("note:           vacuous run — no trustworthy convergence comparison")
+	}
+	if rep.Spans != nil {
+		a, err := span.Analyze(*rep.Spans)
+		if err != nil {
+			return err
+		}
+		fmt.Println("\ncausal spans:")
+		if err := span.WriteReport(os.Stdout, a, span.GanttOptions{}); err != nil {
+			return err
+		}
+	}
+	if err := (chaos.Oracle{}).Check(rep); err != nil {
+		if shrink {
+			min := chaos.Shrink(sc, func(c chaos.Scenario) bool {
+				r, e := chaos.Execute(c, opt)
+				return e != nil || (chaos.Oracle{}).Check(r) != nil
+			})
+			fmt.Fprintf(os.Stderr, "shrunk to %d switches, %d events:\n",
+				scenarioSwitches(min), len(min.Events))
+			os.Stderr.Write(min.EncodeJSON())
+		}
+		return err
+	}
+	fmt.Println("oracle:         ok")
+	return nil
+}
+
+// scenarioSwitches counts the scenario topology's switches.
+func scenarioSwitches(sc chaos.Scenario) int {
+	tp, err := sc.Topology.Build()
+	if err != nil {
+		return -1
+	}
+	return tp.NumSwitches()
+}
+
+// emit writes the built-in corpus into dir.
+func emit(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, sc := range chaos.CorpusScenarios() {
+		path := filepath.Join(dir, chaos.CorpusFilename(sc))
+		if err := os.WriteFile(path, sc.EncodeJSON(), 0o644); err != nil {
+			return err
+		}
+		fmt.Println(path)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// CorpusScenarios returns the committed regression corpus: one scenario
+// per Table 1 topology (paper profile), plus lossy and churn variants on
+// random fabrics. The function is pure — the corpus files under
+// testdata/corpus are exactly these scenarios' canonical encodings, and
+// the corpus test regenerates and byte-compares them, so any change to
+// the generator that would silently alter the corpus fails loudly.
+func CorpusScenarios() []Scenario {
+	var out []Scenario
+	for i, name := range topo.Names() {
+		p := Profile{Name: "paper", Fixed: name, Algorithms: core.PaperKinds(), MaxEvents: 3}
+		sc := Generate(uint64(i+1), p)
+		sc.Name = fmt.Sprintf("paper-%02d-%s", i+1, slugName(name))
+		out = append(out, sc)
+	}
+	lossy, _ := ProfileByName("lossy")
+	for s := uint64(1); s <= 3; s++ {
+		sc := Generate(s, lossy)
+		sc.Name = fmt.Sprintf("lossy-%d", s)
+		out = append(out, sc)
+	}
+	churn, _ := ProfileByName("churn")
+	for s := uint64(1); s <= 3; s++ {
+		sc := Generate(s, churn)
+		sc.Name = fmt.Sprintf("churn-%d", s)
+		out = append(out, sc)
+	}
+	return out
+}
+
+// CorpusFilename is the canonical corpus file name of a scenario.
+func CorpusFilename(sc Scenario) string { return sc.Name + ".json" }

@@ -1,0 +1,393 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/asi"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/sim"
+	"repro/internal/span"
+	"repro/internal/telemetry"
+	"repro/internal/topo"
+)
+
+// Options configures how a scenario is executed (none of it is part of
+// the scenario itself: the same scenario replays identically under any
+// observation options).
+type Options struct {
+	// Horizon bounds each phase's simulated time. The event queue of a
+	// healthy run always drains long before it; hitting the horizon with
+	// events still pending is the oracle's "engine hung" signal. Zero
+	// selects DefaultHorizon.
+	Horizon sim.Duration
+	// Telemetry and Spans attach the respective observers; both add
+	// oracle coverage (conservation laws, span validation) at some
+	// execution cost.
+	Telemetry bool
+	Spans     bool
+	// NoAudit skips the forced post-quiescence rediscovery.
+	NoAudit bool
+	// SkipPI5 makes the FM's packet handler silently swallow the first N
+	// PI-5 event reports. It exists to break the system on purpose: the
+	// oracle must notice (delivered-but-unassimilated reports), which is
+	// how the harness tests itself.
+	SkipPI5 int
+}
+
+// DefaultHorizon is far beyond any legitimate phase: the worst Table 1
+// fabric under maximum loss and retries quiesces in well under a second
+// of simulated time.
+const DefaultHorizon = 30 * sim.Second
+
+// spanCap bounds the span log like the experiment layer does.
+const spanCap = 1 << 20
+
+// Report is everything the oracle (and a human debugging a failure)
+// needs to know about one executed scenario.
+type Report struct {
+	Scenario Scenario
+
+	// Results lists every completed discovery run in completion order:
+	// the initial discovery, any churn-triggered assimilations, and the
+	// audit rediscovery last (when it ran).
+	Results []core.Result
+
+	// InitialOK records that the initial discovery completed; InitialErr
+	// its ground-truth comparison (only performed when trustworthy).
+	InitialOK  bool
+	InitialErr error
+	// DistFailures counts failed event-route writes during distribution.
+	DistFailures int
+	// EventErrs records scripted events the fabric rejected.
+	EventErrs []string
+
+	// Hung names the phase that exhausted the horizon ("" = none);
+	// StillDiscovering reports a manager mid-run after the script
+	// quiesced with a drained event queue.
+	Hung             string
+	StillDiscovering bool
+
+	// T0 is when the transient period (initial discovery + event-route
+	// distribution) ended and the event script's clock started;
+	// LastChange is when the script's final perturbation was fully
+	// applied (for a flap, when the link came back up).
+	T0, LastChange sim.Time
+	// PI5AfterLast counts PI-5 event reports the fabric delivered at or
+	// after LastChange; ChurnRun indexes the last completed run that
+	// started at or after LastChange (-1 = none).
+	PI5AfterLast uint64
+	ChurnRun     int
+
+	// WantDevices/WantLinks is the alive-fabric ground truth after the
+	// script quiesced; PostChurnDevices/Links the FM database then.
+	WantDevices, WantLinks           int
+	PostChurnDevices, PostChurnLinks int
+
+	// Audit is the forced post-quiescence rediscovery.
+	AuditRequested bool
+	AuditRan       bool
+	Audit          core.Result
+	AuditErr       error
+
+	// DBFingerprint hashes the final database topology; Fingerprint
+	// hashes the whole run's observable metrics. Two executions of the
+	// same scenario must produce identical fingerprints.
+	DBFingerprint uint64
+	Fingerprint   uint64
+
+	// Processed is the total simulation event count; Counters the final
+	// fabric accounting.
+	Processed uint64
+	Counters  fabric.Counters
+	// Telemetry and Spans are present only when requested in Options.
+	Telemetry *telemetry.Snapshot
+	Spans     *span.Log
+}
+
+// pi5Filter wraps the manager's packet handler and swallows the first N
+// PI-5 reports (Options.SkipPI5). The fabric has already counted the
+// delivery by the time the handler runs, which is exactly the asymmetry
+// the oracle exploits to catch the lost assimilation.
+type pi5Filter struct {
+	inner fabric.Handler
+	skip  int
+}
+
+func (p *pi5Filter) HandlePacket(port int, pkt *asi.Packet) {
+	if p.skip > 0 && pkt.Header.PI == asi.PI5EventReporting {
+		p.skip--
+		return
+	}
+	p.inner.HandlePacket(port, pkt)
+}
+
+// Execute runs one scenario to completion and reports everything the
+// oracle checks. The error return covers scenario construction problems
+// only (invalid scenario, unbuildable topology); anomalies of the run
+// itself land in the Report for the Oracle to judge.
+func Execute(sc Scenario, opt Options) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	kind, err := sc.Kind()
+	if err != nil {
+		return nil, err
+	}
+	tp, err := sc.Topology.Build()
+	if err != nil {
+		return nil, err
+	}
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon
+	}
+
+	rep := &Report{Scenario: sc, ChurnRun: -1}
+	e := sim.NewEngine()
+	var (
+		reg       *telemetry.Registry
+		sp        *span.Tracer
+		wallStart time.Time
+	)
+	if opt.Telemetry {
+		reg = telemetry.New()
+		wallStart = time.Now()
+	}
+	if opt.Spans {
+		sp = span.New(spanCap)
+	}
+	rng := sim.NewRNG(sc.Seed*2654435761 + 1)
+	f, err := fabric.New(e, tp, fabric.Config{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	if reg != nil {
+		f.EnableTelemetry(reg)
+	}
+	if sp != nil {
+		f.SetSpanTracer(sp)
+	}
+	if err := f.SetFaultPlan(sc.FaultPlan()); err != nil {
+		return nil, err
+	}
+	ep := f.Device(tp.Endpoints()[0])
+	m := core.NewManager(f, ep, core.Options{
+		Algorithm:    kind,
+		MaxRetries:   sc.MaxRetries,
+		RetryBackoff: sim.Micros(sc.BackoffUS),
+		Telemetry:    reg,
+		Spans:        sp,
+	})
+	if opt.SkipPI5 > 0 {
+		ep.SetHandler(&pi5Filter{inner: m, skip: opt.SkipPI5})
+	}
+	m.OnDiscoveryComplete = func(r core.Result) { rep.Results = append(rep.Results, r) }
+
+	runPhase := func(name string) bool {
+		e.RunUntil(e.Now().Add(horizon))
+		if e.Pending() > 0 {
+			rep.Hung = name
+			return false
+		}
+		return true
+	}
+	finish := func() *Report {
+		rep.Processed = e.Processed
+		rep.Counters = f.Counters()
+		rep.DBFingerprint = m.DB().Fingerprint()
+		if sp != nil {
+			l := sp.Log()
+			rep.Spans = &l
+		}
+		if reg != nil {
+			f.FinishTelemetry(reg)
+			e.RecordTelemetry(reg, time.Since(wallStart))
+			s := reg.Snapshot()
+			rep.Telemetry = &s
+		}
+		rep.Fingerprint = rep.fingerprint()
+		return rep
+	}
+
+	// Transient period: initial discovery, then event-route distribution.
+	m.StartDiscovery()
+	if !runPhase("initial discovery") {
+		return finish(), nil
+	}
+	if len(rep.Results) >= 1 {
+		rep.InitialOK = true
+		if rep.Trustworthy(rep.Results[0]) {
+			rep.InitialErr = CheckConverged(f, m, rep.Results[0])
+		}
+	}
+	m.DistributeEventRoutes(func(d core.DistResult) { rep.DistFailures = d.Failures })
+	if !runPhase("event-route distribution") {
+		return finish(), nil
+	}
+	rep.T0 = e.Now()
+
+	// Event script: schedule every perturbation relative to T0 and note
+	// when the last one is fully applied.
+	rep.LastChange = rep.T0
+	for i, ev := range sc.Events {
+		i, ev := i, ev
+		at := rep.T0.Add(sim.Micros(ev.AtUS))
+		switch ev.Op {
+		case OpDown, OpUp:
+			if at > rep.LastChange {
+				rep.LastChange = at
+			}
+			e.At(at, func(*sim.Engine) {
+				var err error
+				if ev.Op == OpDown {
+					err = f.SetDeviceDown(topo.NodeID(ev.Node), false)
+				} else {
+					err = f.SetDeviceUp(topo.NodeID(ev.Node), false)
+				}
+				if err != nil {
+					rep.EventErrs = append(rep.EventErrs,
+						fmt.Sprintf("event %d (%s node %d at %v): %v", i, ev.Op, ev.Node, at, err))
+				}
+			})
+		case OpFlap:
+			up := at.Add(sim.Micros(ev.DurUS))
+			if up > rep.LastChange {
+				rep.LastChange = up
+			}
+			if err := f.FlapLink(ev.Link, at, sim.Micros(ev.DurUS)); err != nil {
+				rep.EventErrs = append(rep.EventErrs,
+					fmt.Sprintf("event %d (flap link %d at %v): %v", i, ev.Link, at, err))
+			}
+		}
+	}
+	pi5Delivered := func() uint64 { return f.Counters().Delivered[asi.PI5EventReporting] }
+	var pi5Before uint64
+	if rep.LastChange == rep.T0 {
+		pi5Before = pi5Delivered()
+	} else {
+		// PI-5 emission trails any change by the detect delay, so a
+		// snapshot at LastChange itself cleanly splits before/after.
+		e.At(rep.LastChange, func(*sim.Engine) { pi5Before = pi5Delivered() })
+	}
+	if !runPhase("event script") {
+		return finish(), nil
+	}
+	rep.PI5AfterLast = pi5Delivered() - pi5Before
+	rep.StillDiscovering = m.Discovering()
+	for i, r := range rep.Results {
+		if r.Start >= rep.LastChange {
+			rep.ChurnRun = i
+		}
+	}
+	rep.WantDevices, rep.WantLinks = GroundTruth(f, ep.ID)
+	rep.PostChurnDevices, rep.PostChurnLinks = m.DB().NumNodes(), m.DB().NumLinks()
+
+	// Audit: force a full rediscovery of the settled fabric. Whatever the
+	// churn did to the database, a trustworthy audit must reconstruct the
+	// ground truth exactly.
+	if !opt.NoAudit && !rep.StillDiscovering {
+		rep.AuditRequested = true
+		before := len(rep.Results)
+		m.StartDiscovery()
+		if !runPhase("audit rediscovery") {
+			return finish(), nil
+		}
+		if len(rep.Results) > before {
+			rep.AuditRan = true
+			rep.Audit = rep.Results[len(rep.Results)-1]
+			if rep.Trustworthy(rep.Audit) {
+				rep.AuditErr = CheckConverged(f, m, rep.Audit)
+			}
+		}
+	}
+	return finish(), nil
+}
+
+// fingerprint folds every deterministic observable of the run into one
+// FNV-1a value: the engine's event count, the fabric's accounting, each
+// discovery result's measurements, and the final database fingerprint.
+// Wall-clock-derived telemetry (events/sec) is deliberately excluded.
+func (rep *Report) fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(rep.Processed)
+	mix(rep.Counters.TxPackets)
+	mix(rep.Counters.TxBytes)
+	for pi := asi.PI(0); pi < 16; pi++ {
+		mix(rep.Counters.Delivered[pi])
+	}
+	for _, d := range rep.Counters.Drops {
+		mix(d)
+	}
+	mix(rep.Counters.FaultDelays)
+	mix(rep.Counters.LinkFlaps)
+	mix(uint64(len(rep.Results)))
+	for _, r := range rep.Results {
+		mix(uint64(r.Start))
+		mix(uint64(r.End))
+		mix(uint64(r.PacketsSent))
+		mix(uint64(r.BytesSent))
+		mix(uint64(r.PacketsReceived))
+		mix(uint64(r.BytesReceived))
+		mix(uint64(r.TimedOut))
+		mix(uint64(r.Retries))
+		mix(uint64(r.GaveUp))
+		mix(uint64(r.Stale))
+		mix(uint64(r.Devices))
+		mix(uint64(r.Switches))
+		mix(uint64(r.Links))
+	}
+	mix(uint64(rep.T0))
+	mix(uint64(rep.LastChange))
+	mix(rep.PI5AfterLast)
+	mix(uint64(rep.WantDevices))
+	mix(uint64(rep.WantLinks))
+	mix(uint64(rep.PostChurnDevices))
+	mix(uint64(rep.PostChurnLinks))
+	mix(rep.DBFingerprint)
+	return h
+}
+
+// CrossCheck executes the scenario once per paper algorithm and verifies
+// that every run passes the oracle and that all trustworthy audits agree
+// on the final topology fingerprint — the serial and parallel algorithms
+// must reconstruct the same fabric.
+func CrossCheck(sc Scenario, opt Options) error {
+	type agreed struct {
+		kind core.Kind
+		fp   uint64
+	}
+	var fps []agreed
+	for _, k := range core.PaperKinds() {
+		s := sc
+		s.Algorithm = k.Slug()
+		rep, err := Execute(s, opt)
+		if err != nil {
+			return fmt.Errorf("chaos: %s: %w", k.Slug(), err)
+		}
+		if err := (Oracle{}).Check(rep); err != nil {
+			return fmt.Errorf("chaos: %s: %w", k.Slug(), err)
+		}
+		if rep.AuditRan && rep.Trustworthy(rep.Audit) {
+			fps = append(fps, agreed{k, rep.DBFingerprint})
+		}
+	}
+	for _, g := range fps[1:] {
+		if g.fp != fps[0].fp {
+			return fmt.Errorf("chaos: algorithms disagree on final topology: %s=%#x, %s=%#x",
+				fps[0].kind.Slug(), fps[0].fp, g.kind.Slug(), g.fp)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+package chaos
+
+import "bytes"
+
+// maxShrinkEvals bounds the number of predicate evaluations a shrink may
+// spend; each evaluation replays a full scenario. Greedy shrinking
+// converges long before this in practice — the cap is a backstop against
+// a pathologically slow predicate.
+const maxShrinkEvals = 300
+
+// Shrink greedily minimises a failing scenario while keeping it failing:
+// it drops script events (last first), shrinks the topology, and weakens
+// the fault model, re-running the predicate on every candidate, until a
+// whole pass makes no progress. The returned scenario still satisfies
+// fails (it is the last candidate that did) and always validates.
+//
+// fails must be deterministic — with a deterministic executor behind it,
+// any scenario either always fails or never does, which is what makes
+// greedy shrinking sound here.
+func Shrink(sc Scenario, fails func(Scenario) bool) Scenario {
+	cur := sc
+	cur.Name = ""
+	evals := 0
+	try := func(cand Scenario) bool {
+		if evals >= maxShrinkEvals {
+			return false
+		}
+		if cand.Validate() != nil {
+			return false
+		}
+		if bytes.Equal(cand.EncodeJSON(), cur.EncodeJSON()) {
+			return false
+		}
+		evals++
+		if !fails(cand) {
+			return false
+		}
+		cur = cand
+		return true
+	}
+	for {
+		improved := false
+		// Drop script events, last first; re-filter the survivors so
+		// orphaned ups (whose down was removed) go too.
+		for i := len(cur.Events) - 1; i >= 0; i-- {
+			if i >= len(cur.Events) {
+				continue // an accepted candidate shrank the script under us
+			}
+			cand := cur
+			events := make([]Event, 0, len(cur.Events)-1)
+			events = append(events, cur.Events[:i]...)
+			events = append(events, cur.Events[i+1:]...)
+			cand.Events = events
+			if try(refitEvents(cand)) {
+				improved = true
+			}
+		}
+		// Shrink the topology; events are refitted against the smaller
+		// graph (out-of-range targets drop out).
+		for _, cand := range topologyCandidates(cur) {
+			if try(refitEvents(cand)) {
+				improved = true
+				break
+			}
+		}
+		// Weaken the fault model and retry policy.
+		for _, cand := range faultCandidates(cur) {
+			if try(cand) {
+				improved = true
+			}
+		}
+		if !improved {
+			return cur
+		}
+	}
+}
+
+// refitEvents re-validates a candidate's event script against its
+// (possibly changed) topology, keeping the valid subsequence.
+func refitEvents(sc Scenario) Scenario {
+	tp, err := sc.Topology.Build()
+	if err != nil {
+		return sc // unbuildable candidates are rejected by Validate
+	}
+	sc.Events = normalizeEvents(sc.Events, tp)
+	return sc
+}
+
+// topologyCandidates proposes strictly smaller fabrics.
+func topologyCandidates(sc Scenario) []Scenario {
+	var out []Scenario
+	add := func(spec TopologySpec) {
+		cand := sc
+		cand.Topology = spec
+		out = append(out, cand)
+	}
+	ts := sc.Topology
+	if ts.Catalogue != "" {
+		// Replace a catalogue fabric with small random ones seeded off
+		// the scenario itself.
+		add(TopologySpec{Switches: 6, ExtraLinks: 2, Seed: sc.Seed})
+		add(TopologySpec{Switches: 4, Seed: sc.Seed})
+		add(TopologySpec{Switches: 3, Seed: sc.Seed})
+		return out
+	}
+	if ts.Switches > 2 {
+		half := ts.Switches / 2
+		if half < 2 {
+			half = 2
+		}
+		if half < ts.Switches {
+			add(TopologySpec{Switches: half, ExtraLinks: min(ts.ExtraLinks, half), Seed: ts.Seed})
+		}
+		add(TopologySpec{Switches: ts.Switches - 1, ExtraLinks: min(ts.ExtraLinks, ts.Switches-1), Seed: ts.Seed})
+	}
+	if ts.ExtraLinks > 0 {
+		add(TopologySpec{Switches: ts.Switches, Seed: ts.Seed})
+	}
+	return out
+}
+
+// faultCandidates proposes weaker fault models and retry policies.
+func faultCandidates(sc Scenario) []Scenario {
+	var out []Scenario
+	add := func(mut func(*Scenario)) {
+		cand := sc
+		mut(&cand)
+		out = append(out, cand)
+	}
+	if sc.Loss > 0 {
+		add(func(c *Scenario) { c.Loss = 0 })
+	}
+	if sc.DropFirst > 0 {
+		add(func(c *Scenario) { c.DropFirst = 0 })
+	}
+	if sc.DelayProb > 0 || sc.DelayUS > 0 {
+		add(func(c *Scenario) { c.DelayProb, c.DelayUS = 0, 0 })
+	}
+	if sc.MaxRetries > 0 {
+		add(func(c *Scenario) { c.MaxRetries, c.BackoffUS = 0, 0 })
+	}
+	if sc.BackoffUS > 0 {
+		add(func(c *Scenario) { c.BackoffUS = 0 })
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

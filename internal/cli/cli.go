@@ -16,33 +16,30 @@ import (
 	"repro/internal/topo"
 )
 
-// algNames maps every accepted spelling to its algorithm, long names
-// first so help text lists them canonically.
-var algNames = []struct {
-	name string
-	kind core.Kind
-}{
-	{"serial-packet", core.SerialPacket},
-	{"serial-device", core.SerialDevice},
-	{"parallel", core.Parallel},
-	{"partial", core.Partial},
-	{"sp", core.SerialPacket},
-	{"sd", core.SerialDevice},
-	{"p", core.Parallel},
-}
-
-// AlgorithmNames returns the canonical algorithm spellings for help text.
+// AlgorithmNames returns the canonical algorithm spellings for help text
+// (the core.Kind slugs of every algorithm a standalone tool can run).
 func AlgorithmNames() []string {
-	return []string{"serial-packet", "serial-device", "parallel", "partial"}
+	return []string{
+		core.SerialPacket.Slug(), core.SerialDevice.Slug(),
+		core.Parallel.Slug(), core.Partial.Slug(),
+	}
 }
 
 // Algorithm parses a discovery-algorithm name (aliases: sp, sd, p).
+// Distributed is rejected: it needs a multi-FM team the single-manager
+// tools cannot assemble.
 func Algorithm(s string) (core.Kind, error) {
 	want := strings.ToLower(s)
-	for _, a := range algNames {
-		if a.name == want {
-			return a.kind, nil
-		}
+	switch want {
+	case "sp":
+		return core.SerialPacket, nil
+	case "sd":
+		return core.SerialDevice, nil
+	case "p":
+		return core.Parallel, nil
+	}
+	if k, ok := core.KindBySlug(want); ok && k != core.Distributed {
+		return k, nil
 	}
 	return 0, fmt.Errorf("unknown algorithm %q (valid: %s)", s, strings.Join(AlgorithmNames(), ", "))
 }

@@ -120,6 +120,39 @@ func (db *DB) Links() []Link {
 	return out
 }
 
+// Fingerprint hashes the database's topology content — the node set
+// (DSN, type, port count) and the canonical link set — into one FNV-1a
+// value. Two databases fingerprint equally iff they describe the same
+// topology, regardless of discovery order or algorithm, so runs of
+// different algorithms over the same fabric can be compared in O(1).
+func (db *DB) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	mix(uint64(len(db.nodes)))
+	for _, n := range db.Nodes() {
+		mix(uint64(n.DSN))
+		mix(uint64(n.Type))
+		mix(uint64(n.Ports))
+	}
+	mix(uint64(len(db.links)))
+	for _, l := range db.Links() {
+		mix(uint64(l.A))
+		mix(uint64(l.APort))
+		mix(uint64(l.B))
+		mix(uint64(l.BPort))
+	}
+	return h
+}
+
 // AddNode inserts a newly discovered device. It reports whether the device
 // was new; a device reached through an alternate path keeps its original
 // entry (and path).

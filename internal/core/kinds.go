@@ -51,6 +51,35 @@ func AllKinds() []Kind {
 // Valid reports whether k names an implemented algorithm.
 func (k Kind) Valid() bool { return k >= 0 && k < numKinds }
 
+// Slug returns the canonical machine-readable algorithm name, used by
+// command-line flags and JSON encodings (scenario files, run reports).
+func (k Kind) Slug() string {
+	switch k {
+	case SerialPacket:
+		return "serial-packet"
+	case SerialDevice:
+		return "serial-device"
+	case Parallel:
+		return "parallel"
+	case Distributed:
+		return "distributed"
+	case Partial:
+		return "partial"
+	default:
+		return fmt.Sprintf("kind-%d", int(k))
+	}
+}
+
+// KindBySlug resolves a canonical machine-readable algorithm name.
+func KindBySlug(s string) (Kind, bool) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.Slug() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
 // String names the algorithm as the paper does.
 func (k Kind) String() string {
 	switch k {

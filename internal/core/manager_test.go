@@ -23,7 +23,10 @@ func setup(t *testing.T, tp *topo.Topology, kind Kind) (*sim.Engine, *fabric.Fab
 }
 
 // groundTruth walks the live fabric from the manager's endpoint and
-// returns the expected device and link counts.
+// returns the expected device and link counts. The exported definition
+// lives in chaos.GroundTruth; this internal-test copy exists because
+// chaos imports core, so package-core test files cannot import chaos
+// without a cycle (property_test.go moved to core_test for that reason).
 func groundTruth(f *fabric.Fabric, start topo.NodeID) (devices, links int) {
 	alive := map[topo.NodeID]bool{}
 	if !f.Device(start).Alive() {

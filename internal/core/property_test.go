@@ -1,9 +1,14 @@
-package core
+// Property tests live in package core_test (not core) so they can use
+// the chaos harness's exported oracle: chaos imports core, so an
+// internal test file could not import chaos back without a cycle.
+package core_test
 
 import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/chaos"
+	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/sim"
 	"repro/internal/topo"
@@ -12,9 +17,11 @@ import (
 // The central correctness property of the whole system: over arbitrary
 // connected topologies, every discovery algorithm reconstructs exactly
 // the alive reachable fabric — same devices, same links — regardless of
-// cycles, parallel links, or irregular degree.
+// cycles, parallel links, or irregular degree. The ground-truth
+// comparison itself is chaos.CheckConverged, shared with the chaos
+// harness's executor so there is exactly one definition of "correct".
 
-func discoveryMatchesGroundTruth(t *testing.T, tp *topo.Topology, kind Kind, opt Options) bool {
+func discoveryMatchesGroundTruth(t *testing.T, tp *topo.Topology, kind core.Kind, opt core.Options) bool {
 	t.Helper()
 	e := sim.NewEngine()
 	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(99))
@@ -22,28 +29,19 @@ func discoveryMatchesGroundTruth(t *testing.T, tp *topo.Topology, kind Kind, opt
 		return false
 	}
 	opt.Algorithm = kind
-	m := NewManager(f, f.Device(tp.Endpoints()[0]), opt)
+	m := core.NewManager(f, f.Device(tp.Endpoints()[0]), opt)
 	done := false
-	var res Result
-	m.OnDiscoveryComplete = func(r Result) { res, done = r, true }
+	var res core.Result
+	m.OnDiscoveryComplete = func(r core.Result) { res, done = r, true }
 	m.StartDiscovery()
 	e.Run()
 	if !done {
 		t.Logf("%s/%v: discovery hung", tp.Name, kind)
 		return false
 	}
-	wantDev, wantLinks := groundTruth(f, m.Device().ID)
-	if res.Devices != wantDev || res.Links != wantLinks {
-		t.Logf("%s/%v: got %d devices / %d links, want %d / %d",
-			tp.Name, kind, res.Devices, res.Links, wantDev, wantLinks)
+	if err := chaos.CheckConverged(f, m, res); err != nil {
+		t.Logf("%s/%v: %v", tp.Name, kind, err)
 		return false
-	}
-	// Every stored path must be consistent with the database graph.
-	for _, n := range m.DB().Nodes() {
-		if p, _ := m.DB().PathTo(n.DSN); p == nil {
-			t.Logf("%s/%v: node %v unreachable in own database", tp.Name, kind, n.DSN)
-			return false
-		}
 	}
 	return true
 }
@@ -52,8 +50,8 @@ func TestDiscoveryCorrectOnRandomTopologies(t *testing.T) {
 	f := func(seed uint64, n, extra uint8) bool {
 		nsw := int(n%18) + 2
 		tp := topo.Random(nsw, int(extra%24), sim.NewRNG(seed))
-		for _, kind := range PaperKinds() {
-			if !discoveryMatchesGroundTruth(t, tp, kind, Options{}) {
+		for _, kind := range core.PaperKinds() {
+			if !discoveryMatchesGroundTruth(t, tp, kind, core.Options{}) {
 				return false
 			}
 		}
@@ -68,8 +66,8 @@ func TestDiscoveryCorrectOnRandomTopologiesWithAblations(t *testing.T) {
 	f := func(seed uint64, n uint8, batch uint8, noMemo bool) bool {
 		nsw := int(n%12) + 2
 		tp := topo.Random(nsw, int(seed%16), sim.NewRNG(seed))
-		opt := Options{PortReadBatch: int(batch%4) + 1, NoProbeMemo: noMemo}
-		return discoveryMatchesGroundTruth(t, tp, Parallel, opt)
+		opt := core.Options{PortReadBatch: int(batch%4) + 1, NoProbeMemo: noMemo}
+		return discoveryMatchesGroundTruth(t, tp, core.Parallel, opt)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Error(err)
@@ -85,9 +83,9 @@ func TestAssimilationCorrectOnRandomTopologies(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		m := NewManager(fab, fab.Device(tp.Endpoints()[0]), Options{Algorithm: Parallel})
+		m := core.NewManager(fab, fab.Device(tp.Endpoints()[0]), core.Options{Algorithm: core.Parallel})
 		done := 0
-		m.OnDiscoveryComplete = func(Result) { done++ }
+		m.OnDiscoveryComplete = func(core.Result) { done++ }
 		m.StartDiscovery()
 		e.Run()
 		if done != 1 {
@@ -116,7 +114,7 @@ func TestAssimilationCorrectOnRandomTopologies(t *testing.T) {
 		if done < 2 {
 			return true
 		}
-		wantDev, wantLinks := groundTruth(fab, m.Device().ID)
+		wantDev, wantLinks := chaos.GroundTruth(fab, m.Device().ID)
 		return m.DB().NumNodes() == wantDev && m.DB().NumLinks() == wantLinks
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {

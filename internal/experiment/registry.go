@@ -69,6 +69,9 @@ func Runners() []Runner {
 		{"ext-failover", "Extension: primary FM failure and secondary takeover", func(Opts) []Report {
 			return []Report{ExtFailover()}
 		}},
+		{"ext-churn", "Extension: discovery under scripted churn (chaos scenarios)", func(o Opts) []Report {
+			return []Report{ExtChurn(o.Seeds)}
+		}},
 	}
 }
 

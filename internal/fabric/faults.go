@@ -128,29 +128,49 @@ func (f *Fabric) SetFaultPlan(p FaultPlan) error {
 	}
 	f.faults = &faultState{plan: p, rng: f.rng.Split(), sent: make([]int, len(f.links))}
 	for _, fl := range p.Flaps {
-		lk := f.links[fl.Link]
-		fl := fl
-		f.Engine.At(fl.At, func(*sim.Engine) {
-			if !lk.up {
-				return // already down (e.g. hot removal); nothing to flap
-			}
-			f.counters.LinkFlaps++
-			if f.tracing() {
-				f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-down link=%d for=%v", fl.Link, fl.Duration))
-			}
-			lk.setUp(false)
-		})
-		f.Engine.At(fl.At.Add(fl.Duration), func(*sim.Engine) {
-			if lk.up {
-				return
-			}
-			if f.tracing() {
-				f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-up link=%d", fl.Link))
-			}
-			lk.setUp(true)
-		})
+		f.scheduleFlap(fl)
 	}
 	return nil
+}
+
+// FlapLink schedules one bounded outage of a topology link at an absolute
+// simulation time, independently of any installed fault plan. Event
+// scripts (the chaos harness) use it to flap links mid-run once the
+// transient period's length is known; the flap semantics are identical to
+// a FaultPlan flap.
+func (f *Fabric) FlapLink(link int, at sim.Time, d sim.Duration) error {
+	if link < 0 || link >= len(f.links) {
+		return fmt.Errorf("fabric: flap references link %d of %d", link, len(f.links))
+	}
+	if d <= 0 {
+		return fmt.Errorf("fabric: flap on link %d has non-positive duration", link)
+	}
+	f.scheduleFlap(Flap{Link: link, At: at, Duration: d})
+	return nil
+}
+
+// scheduleFlap arms the down/up event pair of one validated flap.
+func (f *Fabric) scheduleFlap(fl Flap) {
+	lk := f.links[fl.Link]
+	f.Engine.At(fl.At, func(*sim.Engine) {
+		if !lk.up {
+			return // already down (e.g. hot removal); nothing to flap
+		}
+		f.counters.LinkFlaps++
+		if f.tracing() {
+			f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-down link=%d for=%v", fl.Link, fl.Duration))
+		}
+		lk.setUp(false)
+	})
+	f.Engine.At(fl.At.Add(fl.Duration), func(*sim.Engine) {
+		if lk.up {
+			return
+		}
+		if f.tracing() {
+			f.traceEvent(trace.Fault, lk.a, lk.aPort, nil, fmt.Sprintf("flap-up link=%d", fl.Link))
+		}
+		lk.setUp(true)
+	})
 }
 
 // faultDrop decides whether the plan discards this traversal of l, and

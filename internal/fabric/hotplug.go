@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/asi"
@@ -16,14 +17,28 @@ import (
 // event route into it. Restoring the switch reverses the process with
 // port-up events.
 
+// Typed hotplug errors. Scripted churn (the chaos harness, tests) must
+// distinguish "the event was redundant" from any other failure, so both
+// misuses are sentinel errors matchable with errors.Is.
+var (
+	// ErrAlreadyDown reports a SetDeviceDown on a device that is down.
+	ErrAlreadyDown = errors.New("device already down")
+	// ErrAlreadyUp reports a SetDeviceUp on a device that is up.
+	ErrAlreadyUp = errors.New("device already up")
+)
+
+// Alive reports whether the device instantiated for a topology node is
+// currently powered and part of the fabric.
+func (f *Fabric) Alive(id topo.NodeID) bool { return f.devices[id].alive }
+
 // SetDeviceDown removes a device from the fabric. With quiet set the
 // neighbours do not emit PI-5 events; experiments use this to prepare an
-// "addition" transient without tripping change assimilation. It returns an
-// error if the device is already down.
+// "addition" transient without tripping change assimilation. It returns
+// ErrAlreadyDown if the device is already down.
 func (f *Fabric) SetDeviceDown(id topo.NodeID, quiet bool) error {
 	d := f.devices[id]
 	if !d.alive {
-		return fmt.Errorf("fabric: device %s already down", d.Label)
+		return fmt.Errorf("fabric: device %s: %w", d.Label, ErrAlreadyDown)
 	}
 	d.alive = false
 	d.pi4Queue.Clear()
@@ -42,11 +57,12 @@ func (f *Fabric) SetDeviceDown(id topo.NodeID, quiet bool) error {
 }
 
 // SetDeviceUp restores a previously removed device. Neighbours emit
-// PI-5 port-up events unless quiet is set.
+// PI-5 port-up events unless quiet is set. It returns ErrAlreadyUp if the
+// device is already up.
 func (f *Fabric) SetDeviceUp(id topo.NodeID, quiet bool) error {
 	d := f.devices[id]
 	if d.alive {
-		return fmt.Errorf("fabric: device %s already up", d.Label)
+		return fmt.Errorf("fabric: device %s: %w", d.Label, ErrAlreadyUp)
 	}
 	d.alive = true
 	f.portsChanged(d, quiet, asi.PI5PortUp)
