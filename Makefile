@@ -4,7 +4,8 @@
 #   make verify   - the full gate: gofmt check, build, vet, test,
 #                   race-detector test, 1-iteration benchmark smoke,
 #                   JSON run-report schema smoke, span pipeline smoke,
-#                   spans-disabled zero-alloc regression, chaos smoke
+#                   spans-disabled zero-alloc regression, chaos smoke,
+#                   parallel-sweep determinism smoke
 #   make race     - go test -race ./...
 #   make fuzz     - bounded native-fuzzing burst on the chaos harness
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
@@ -16,7 +17,7 @@ GO ?= go
 BENCHTIME ?= 3x
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke span-smoke alloc-check chaos-smoke fuzz
+.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke fuzz
 
 all: build vet test
 
@@ -69,6 +70,15 @@ alloc-check:
 chaos-smoke:
 	$(GO) run ./cmd/asichaos -runs 25 -algs all
 
+# chaos-par-smoke proves the parallel sweep is deterministic: the same
+# sweep at -workers 1 and -workers 8 must print byte-identical verbose
+# output, per-scenario fingerprints included.
+chaos-par-smoke:
+	$(GO) run ./cmd/asichaos -runs 16 -workers 1 -v > $${TMPDIR:-/tmp}/asi_sweep_w1.txt
+	$(GO) run ./cmd/asichaos -runs 16 -workers 8 -v > $${TMPDIR:-/tmp}/asi_sweep_w8.txt
+	diff $${TMPDIR:-/tmp}/asi_sweep_w1.txt $${TMPDIR:-/tmp}/asi_sweep_w8.txt
+	rm -f $${TMPDIR:-/tmp}/asi_sweep_w1.txt $${TMPDIR:-/tmp}/asi_sweep_w8.txt
+
 # fuzz gives each native fuzz target a short bounded burst; the committed
 # corpus under internal/chaos/testdata/corpus seeds FuzzScenario.
 FUZZTIME ?= 20s
@@ -76,7 +86,7 @@ fuzz:
 	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzGenerated$$' -fuzztime $(FUZZTIME)
 
-verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke
+verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/sim \

@@ -250,6 +250,34 @@ func BenchmarkExtensions(b *testing.B) {
 	})
 }
 
+// BenchmarkScaleDiscovery measures full discovery on fabrics far beyond
+// Table 1: hundreds to a thousand switches from the extended generator
+// families (grids are absent — turn-pool path depth keeps them near
+// Table 1 sizes; see scaleRows). Sizes are kept at the small end of the ext-scale
+// experiment so `make bench` stays minutes, not hours; run `asibench
+// -exp ext-scale` for the 5k/10k-switch rows.
+func BenchmarkScaleDiscovery(b *testing.B) {
+	for _, name := range []string{
+		"8-port 3-tree",
+		"dragonfly 8x32",
+		"dragonfly 16x64",
+		"autofat 128x4096",
+	} {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			benchEvents = 0
+			var secs float64
+			for i := 0; i < b.N; i++ {
+				res := discoverOnce(b, name, core.Options{Algorithm: core.Parallel}, 1)
+				secs = res.Duration.Seconds()
+			}
+			b.StopTimer()
+			b.ReportMetric(secs, "sim-s/run")
+			reportEventsPerSec(b, benchEvents)
+		})
+	}
+}
+
 // BenchmarkAblationPortReadBatching measures design choice 1 from
 // DESIGN.md: one port per PI-4 read (the paper's algorithms) vs the
 // 4-port batching a completion could carry.

@@ -42,7 +42,11 @@ func main() {
 
 	if *list {
 		for _, r := range experiment.Runners() {
-			fmt.Printf("%-16s %s\n", r.ID, r.Desc)
+			heavy := ""
+			if r.Heavy {
+				heavy = "  [heavy: run explicitly with -exp]"
+			}
+			fmt.Printf("%-16s %s%s\n", r.ID, r.Desc, heavy)
 		}
 		return
 	}
@@ -61,7 +65,13 @@ func main() {
 	opts := experiment.Opts{Seeds: *seeds, Workers: *workers}
 	var runners []experiment.Runner
 	if *exp == "all" {
-		runners = experiment.Runners()
+		for _, r := range experiment.Runners() {
+			if r.Heavy {
+				fmt.Fprintf(os.Stderr, "skipping heavy experiment %s (run it with -exp %s)\n", r.ID, r.ID)
+				continue
+			}
+			runners = append(runners, r)
+		}
 	} else {
 		r, err := experiment.ByID(*exp)
 		if err != nil {

@@ -9,6 +9,7 @@
 //
 //	asichaos -runs 25                       # quick smoke sweep
 //	asichaos -runs 50 -profile churn        # back-to-back changes mid-assimilation
+//	asichaos -runs 100 -workers 8           # parallel sweep, deterministic output
 //	asichaos -runs 25 -algs all             # cross-check all paper algorithms
 //	asichaos -seed 7 -profile lossy -v      # one seed, verbose report
 //	asichaos -replay repro.json -spans      # re-run a failure, span timeline
@@ -34,6 +35,7 @@ func main() {
 	replay := flag.String("replay", "", "replay a scenario JSON file instead of generating")
 	shrink := flag.Bool("shrink", true, "greedily shrink failing scenarios before reporting")
 	spans := flag.Bool("spans", false, "trace causal spans and print the span report (replay mode)")
+	workers := flag.Int("workers", 0, "concurrent sweep executions (0 = GOMAXPROCS); output is identical at any setting")
 	verbose := flag.Bool("v", false, "print a line per scenario")
 	emitCorpus := flag.String("emit-corpus", "", "write the built-in corpus scenarios into a directory and exit")
 	flag.Parse()
@@ -79,24 +81,40 @@ func main() {
 	if !ok {
 		fail(2, fmt.Errorf("unknown profile %q (valid: %s)", *profile, strings.Join(chaos.ProfileNames(), ", ")))
 	}
+	if *spans {
+		// The full span report only prints in replay mode; a sweep keeps
+		// per-run counts and drops each log as its run completes, so large
+		// fabrics don't pin a million-span log per scenario.
+		fmt.Fprintln(os.Stderr, "note: sweep mode summarizes spans per run; use -replay for the full span report")
+	}
 
+	results := chaos.Sweep(chaos.SweepOptions{
+		Seed:       *seed,
+		Runs:       *runs,
+		Profile:    p,
+		Exec:       opt,
+		CrossCheck: crossCheck,
+		Workers:    *workers,
+	})
 	failures, vacuous := 0, 0
-	for i := 0; i < *runs; i++ {
-		sc := chaos.Generate(*seed+uint64(i), p)
-		err := checkOne(sc, opt, crossCheck, &vacuous)
-		if err == nil {
+	for _, r := range results {
+		if r.Vacuous {
+			vacuous++
+		}
+		if r.Err == nil {
 			if *verbose {
-				fmt.Printf("ok   %-16s alg=%-13s events=%d\n", sc.Name, sc.Algorithm, len(sc.Events))
+				fmt.Printf("ok   %-16s alg=%-13s events=%d fp=%#016x%s\n",
+					r.Scenario.Name, r.Scenario.Algorithm, len(r.Scenario.Events),
+					r.Fingerprint, spanSummary(r))
 			}
 			continue
 		}
 		failures++
-		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", sc.Name, err)
-		min := sc
+		fmt.Fprintf(os.Stderr, "FAIL %s: %v\n", r.Scenario.Name, r.Err)
+		min := r.Scenario
 		if *shrink {
-			min = chaos.Shrink(sc, func(c chaos.Scenario) bool {
-				var v int
-				return checkOne(c, opt, crossCheck, &v) != nil
+			min = chaos.Shrink(r.Scenario, func(c chaos.Scenario) bool {
+				return checkOne(c, opt, crossCheck) != nil
 			})
 			fmt.Fprintf(os.Stderr, "shrunk to %d switches, %d events:\n",
 				scenarioSwitches(min), len(min.Events))
@@ -110,18 +128,24 @@ func main() {
 	}
 }
 
+// spanSummary renders the per-run span counts for a verbose sweep line.
+func spanSummary(r chaos.SweepResult) string {
+	if r.SpanCount == 0 && r.SpanDropped == 0 {
+		return ""
+	}
+	return fmt.Sprintf(" spans=%d(dropped %d)", r.SpanCount, r.SpanDropped)
+}
+
 // checkOne executes a scenario (cross-checking every paper algorithm if
-// asked) and returns the oracle's verdict.
-func checkOne(sc chaos.Scenario, opt chaos.Options, crossCheck bool, vacuous *int) error {
+// asked) and returns the oracle's verdict; the shrinker uses it as its
+// still-failing predicate.
+func checkOne(sc chaos.Scenario, opt chaos.Options, crossCheck bool) error {
 	if crossCheck {
 		return chaos.CrossCheck(sc, opt)
 	}
 	rep, err := chaos.Execute(sc, opt)
 	if err != nil {
 		return err
-	}
-	if rep.Vacuous() {
-		*vacuous++
 	}
 	return (chaos.Oracle{}).Check(rep)
 }

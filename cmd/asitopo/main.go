@@ -1,12 +1,15 @@
-// Command asitopo inspects the fabric topologies from the paper's
-// Table 1: device counts, link counts, degree distribution and, with -v,
-// the full cabling.
+// Command asitopo inspects the fabric topologies: the paper's Table 1
+// catalogue, the extended dragonfly and auto-designed fat-tree families,
+// and any parametric instance — device counts, link counts, degree
+// distribution and, with -v, the full cabling.
 //
 // Usage:
 //
 //	asitopo -list
 //	asitopo -topo "4-port 3-tree"
 //	asitopo -topo "6x6 torus" -v
+//	asitopo -topo "dragonfly 16x64"
+//	asitopo -topo "autofat 24x288"
 package main
 
 import (
@@ -21,15 +24,16 @@ import (
 
 func main() {
 	name := flag.String("topo", "", "topology name to inspect")
-	list := flag.Bool("list", false, "list the Table 1 topologies")
+	list := flag.Bool("list", false, "list the catalogue topologies and parametric families")
 	verbose := flag.Bool("v", false, "print every link")
 	flag.Parse()
 
 	if *list || *name == "" {
 		fmt.Printf("%-16s %9s %10s %7s\n", "Topology", "Switches", "Endpoints", "Total")
-		for _, s := range topo.Table1() {
+		for _, s := range topo.Catalogue() {
 			fmt.Printf("%-16s %9d %10d %7d\n", s.Name, s.Switches, s.Endpoints, s.Total())
 		}
+		fmt.Println("\nparametric families (any size): \"RxC mesh\", \"RxC torus\", \"M-port N-tree\", \"dragonfly KxM\", \"autofat PxN\"")
 		return
 	}
 

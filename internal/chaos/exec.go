@@ -364,9 +364,30 @@ func (rep *Report) fingerprint() uint64 {
 // on the final topology fingerprint — the serial and parallel algorithms
 // must reconstruct the same fabric.
 func CrossCheck(sc Scenario, opt Options) error {
+	_, err := CrossCheckFingerprint(sc, opt)
+	return err
+}
+
+// CrossCheckFingerprint is CrossCheck returning a deterministic
+// observable too: every algorithm's full run fingerprint folded together
+// (FNV-1a, in PaperKinds order). Two executions of the same scenario must
+// return the same value, which is what the parallel sweep's determinism
+// smoke compares across worker counts.
+func CrossCheckFingerprint(sc Scenario, opt Options) (uint64, error) {
 	type agreed struct {
 		kind core.Kind
 		fp   uint64
+	}
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	combined := uint64(offset)
+	fold := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			combined ^= (v >> (8 * i)) & 0xff
+			combined *= prime
+		}
 	}
 	var fps []agreed
 	for _, k := range core.PaperKinds() {
@@ -374,20 +395,21 @@ func CrossCheck(sc Scenario, opt Options) error {
 		s.Algorithm = k.Slug()
 		rep, err := Execute(s, opt)
 		if err != nil {
-			return fmt.Errorf("chaos: %s: %w", k.Slug(), err)
+			return 0, fmt.Errorf("chaos: %s: %w", k.Slug(), err)
 		}
 		if err := (Oracle{}).Check(rep); err != nil {
-			return fmt.Errorf("chaos: %s: %w", k.Slug(), err)
+			return 0, fmt.Errorf("chaos: %s: %w", k.Slug(), err)
 		}
+		fold(rep.Fingerprint)
 		if rep.AuditRan && rep.Trustworthy(rep.Audit) {
 			fps = append(fps, agreed{k, rep.DBFingerprint})
 		}
 	}
-	for _, g := range fps[1:] {
-		if g.fp != fps[0].fp {
-			return fmt.Errorf("chaos: algorithms disagree on final topology: %s=%#x, %s=%#x",
-				fps[0].kind.Slug(), fps[0].fp, g.kind.Slug(), g.fp)
+	for i := 1; i < len(fps); i++ {
+		if fps[i].fp != fps[0].fp {
+			return 0, fmt.Errorf("chaos: algorithms disagree on final topology: %s=%#x, %s=%#x",
+				fps[0].kind.Slug(), fps[0].fp, fps[i].kind.Slug(), fps[i].fp)
 		}
 	}
-	return nil
+	return combined, nil
 }

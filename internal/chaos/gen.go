@@ -15,11 +15,14 @@ import (
 // churn bursts landing mid-assimilation.
 type Profile struct {
 	Name string
-	// Fixed pins the topology to one Table 1 entry; Catalogue draws one
-	// at random; otherwise a random connected topology of up to
-	// MaxSwitches switches with up to MaxExtra extra links is generated.
+	// Fixed pins the topology to one catalogue entry; Catalogue draws one
+	// at random; Family draws a random instance of one parametric
+	// generator family ("dragonfly" or "autofat"); otherwise a random
+	// connected topology of up to MaxSwitches switches with up to
+	// MaxExtra extra links is generated.
 	Fixed       string
 	Catalogue   bool
+	Family      string
 	MaxSwitches int
 	MaxExtra    int
 	// Algorithms is the pool the scenario's algorithm is drawn from.
@@ -41,6 +44,8 @@ func Profiles() []Profile {
 		{Name: "paper", Catalogue: true, Algorithms: paperAlgs, MaxEvents: 3},
 		{Name: "lossy", MaxSwitches: 8, MaxExtra: 6, Algorithms: paperAlgs, MaxEvents: 3, Lossy: true},
 		{Name: "churn", MaxSwitches: 10, MaxExtra: 8, Algorithms: paperAlgs, MaxEvents: 6, Churn: true},
+		{Name: "dragonfly", Family: "dragonfly", MaxSwitches: 60, Algorithms: paperAlgs, MaxEvents: 4},
+		{Name: "autofat", Family: "autofat", Algorithms: paperAlgs, MaxEvents: 4},
 	}
 }
 
@@ -79,6 +84,8 @@ func Generate(seed uint64, p Profile) Scenario {
 	case p.Catalogue:
 		names := topo.Names()
 		sc.Topology.Catalogue = names[rng.Intn(len(names))]
+	case p.Family != "":
+		sc.Topology.Catalogue = generateFamily(rng, p)
 	default:
 		maxSw := p.MaxSwitches
 		if maxSw < 3 {
@@ -101,6 +108,36 @@ func Generate(seed uint64, p Profile) Scenario {
 	}
 	sc.Events = generateEvents(rng, sc.Topology, p)
 	return sc
+}
+
+// generateFamily draws one parametric instance of a generator family as
+// a catalogue name — topo.ByName resolves these through ParseName, so
+// the scenario JSON stays a plain string and replays without the profile.
+func generateFamily(rng *sim.RNG, p Profile) string {
+	switch p.Family {
+	case "dragonfly":
+		maxSw := p.MaxSwitches
+		if maxSw < 8 {
+			maxSw = 8
+		}
+		k := 3 + rng.Intn(4) // group size 3..6
+		maxM := maxSw / k
+		if maxM < 2 {
+			maxM = 2
+		}
+		m := 2 + rng.Intn(maxM-1)
+		return fmt.Sprintf("dragonfly %dx%d", k, m)
+	case "autofat":
+		radixes := []int{8, 12, 16}
+		ports := radixes[rng.Intn(len(radixes))]
+		// Two-layer designs exist from ports+1 hosts (below that the
+		// designer degenerates to a single switch) up to ports^2/2.
+		capacity := ports * ports / 2
+		eps := ports + 1 + rng.Intn(capacity-ports)
+		return fmt.Sprintf("autofat %dx%d", ports, eps)
+	default:
+		panic(fmt.Sprintf("chaos: unknown generator family %q", p.Family))
+	}
 }
 
 // generateEvents scripts 1..MaxEvents valid perturbations against the

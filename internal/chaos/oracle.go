@@ -65,8 +65,13 @@ func CheckConverged(f *fabric.Fabric, m *core.Manager, res core.Result) error {
 		return fmt.Errorf("chaos: database has %d devices / %d links, ground truth %d / %d",
 			db.NumNodes(), db.NumLinks(), wantDev, wantLinks)
 	}
+	// One BFS covers every node: db.PathTo(n) is non-nil exactly when n
+	// is in the host's reachable set (endpoints hold a single cable, so
+	// switch-only forwarding and plain reachability agree). The previous
+	// per-node PathTo loop was O(V^2 * L) and took hours at 10k switches.
+	reach := db.ReachableFromHost()
 	for _, n := range db.Nodes() {
-		if p, _ := db.PathTo(n.DSN); p == nil {
+		if !reach[n.DSN] {
 			return fmt.Errorf("chaos: node %v unreachable in the FM's own database", n.DSN)
 		}
 	}

@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"runtime"
+	"sync"
+)
+
+// SweepOptions configures a seeded batch of generated scenarios.
+type SweepOptions struct {
+	// Seed is the base seed; run i executes Generate(Seed+i, Profile).
+	Seed    uint64
+	Runs    int
+	Profile Profile
+	// Exec is passed through to Execute for every run.
+	Exec Options
+	// CrossCheck runs every paper algorithm per scenario instead of the
+	// scenario's own.
+	CrossCheck bool
+	// Workers bounds concurrent executions; <= 0 means GOMAXPROCS.
+	Workers int
+}
+
+// SweepResult is one run's deterministic outcome. Everything here
+// depends only on (Scenario, Exec options) — never on worker count or
+// scheduling — so a sweep's results can be byte-compared across
+// parallelism levels.
+type SweepResult struct {
+	Scenario Scenario
+	// Fingerprint is the run's combined observable hash:
+	// Report.Fingerprint for a single-algorithm run, the
+	// CrossCheckFingerprint fold otherwise. Zero when the scenario could
+	// not execute at all (oracle verdicts still fingerprint the run).
+	Fingerprint uint64
+	// Vacuous reports a run with no trustworthy convergence comparison
+	// (single-algorithm runs only).
+	Vacuous bool
+	// SpanCount/SpanDropped summarize the run's span log when spans were
+	// requested; the log itself is discarded so a long sweep at scale
+	// holds at most Workers logs in memory at once.
+	SpanCount   int
+	SpanDropped int
+	Err         error
+}
+
+// Sweep generates and executes Runs scenarios across a bounded worker
+// pool, preserving run order in the returned slice. Execute is pure —
+// each run owns its engine, fabric, and seed-derived RNG, and the chaos
+// package keeps no mutable package state — so the same SweepOptions
+// yield identical results at any Workers setting; parallelism only buys
+// wall-clock time.
+func Sweep(o SweepOptions) []SweepResult {
+	workers := o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]SweepResult, o.Runs)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := 0; i < o.Runs; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i] = sweepOne(Generate(o.Seed+uint64(i), o.Profile), o)
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// sweepOne executes a single generated scenario under the sweep's
+// options.
+func sweepOne(sc Scenario, o SweepOptions) SweepResult {
+	res := SweepResult{Scenario: sc}
+	if o.CrossCheck {
+		res.Fingerprint, res.Err = CrossCheckFingerprint(sc, o.Exec)
+		return res
+	}
+	rep, err := Execute(sc, o.Exec)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Fingerprint = rep.Fingerprint
+	res.Vacuous = rep.Vacuous()
+	if rep.Spans != nil {
+		res.SpanCount = len(rep.Spans.Spans)
+		res.SpanDropped = rep.Spans.Dropped
+	}
+	res.Err = (Oracle{}).Check(rep)
+	return res
+}

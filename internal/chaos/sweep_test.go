@@ -1,0 +1,132 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSweepParallelDeterminism is the tentpole invariant: a sweep's
+// results are a pure function of (seed, profile, options), never of the
+// worker count. Per-run fingerprints, vacuity, and verdicts must match
+// byte-for-byte between a sequential and a parallel pool.
+func TestSweepParallelDeterminism(t *testing.T) {
+	for _, profile := range []string{"quick", "lossy", "churn", "dragonfly", "autofat"} {
+		p, ok := ProfileByName(profile)
+		if !ok {
+			t.Fatalf("missing profile %q", profile)
+		}
+		o := SweepOptions{Seed: 42, Runs: 6, Profile: p, Exec: Options{Telemetry: true}}
+		o.Workers = 1
+		seq := Sweep(o)
+		o.Workers = 4
+		par := Sweep(o)
+		if len(seq) != len(par) {
+			t.Fatalf("%s: %d sequential results vs %d parallel", profile, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i].Scenario.Name != par[i].Scenario.Name {
+				t.Errorf("%s run %d: scenario %q vs %q", profile, i, seq[i].Scenario.Name, par[i].Scenario.Name)
+			}
+			if seq[i].Fingerprint != par[i].Fingerprint {
+				t.Errorf("%s run %d (%s): fingerprint %#x sequential vs %#x parallel",
+					profile, i, seq[i].Scenario.Name, seq[i].Fingerprint, par[i].Fingerprint)
+			}
+			if seq[i].Vacuous != par[i].Vacuous {
+				t.Errorf("%s run %d: vacuous %v vs %v", profile, i, seq[i].Vacuous, par[i].Vacuous)
+			}
+			if fmt.Sprint(seq[i].Err) != fmt.Sprint(par[i].Err) {
+				t.Errorf("%s run %d: verdict %v vs %v", profile, i, seq[i].Err, par[i].Err)
+			}
+		}
+	}
+}
+
+// TestSweepCrossCheckDeterminism repeats the invariant on the
+// every-algorithm path, whose fingerprint folds all paper algorithms.
+func TestSweepCrossCheckDeterminism(t *testing.T) {
+	p, _ := ProfileByName("quick")
+	o := SweepOptions{Seed: 7, Runs: 4, Profile: p, CrossCheck: true, Workers: 1}
+	seq := Sweep(o)
+	o.Workers = 4
+	par := Sweep(o)
+	for i := range seq {
+		if seq[i].Fingerprint != par[i].Fingerprint || fmt.Sprint(seq[i].Err) != fmt.Sprint(par[i].Err) {
+			t.Errorf("run %d: (%#x, %v) sequential vs (%#x, %v) parallel",
+				i, seq[i].Fingerprint, seq[i].Err, par[i].Fingerprint, par[i].Err)
+		}
+		if seq[i].Fingerprint == 0 && seq[i].Err == nil {
+			t.Errorf("run %d: cross-check returned a zero fingerprint without error", i)
+		}
+	}
+}
+
+// TestFamilyProfilesGenerateValid checks the parametric family profiles:
+// every generated scenario names a buildable instance of the right
+// family and survives its own Validate.
+func TestFamilyProfilesGenerateValid(t *testing.T) {
+	for _, tc := range []struct {
+		profile, prefix string
+		maxSwitches     int
+	}{
+		{"dragonfly", "dragonfly ", 60},
+		{"autofat", "autofat ", 0},
+	} {
+		p, ok := ProfileByName(tc.profile)
+		if !ok {
+			t.Fatalf("missing profile %q", tc.profile)
+		}
+		for seed := uint64(1); seed <= 25; seed++ {
+			sc := Generate(seed, p)
+			if !strings.HasPrefix(sc.Topology.Catalogue, tc.prefix) {
+				t.Fatalf("%s seed %d: topology %q, want %q instance",
+					tc.profile, seed, sc.Topology.Catalogue, strings.TrimSpace(tc.prefix))
+			}
+			if err := sc.Validate(); err != nil {
+				t.Fatalf("%s seed %d (%s): %v", tc.profile, seed, sc.Topology.Catalogue, err)
+			}
+			tp, err := sc.Topology.Build()
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.profile, seed, err)
+			}
+			if err := tp.Validate(); err != nil {
+				t.Fatalf("%s seed %d (%s): %v", tc.profile, seed, sc.Topology.Catalogue, err)
+			}
+			if tc.maxSwitches > 0 && tp.NumSwitches() > tc.maxSwitches {
+				t.Errorf("%s seed %d: %d switches exceeds the profile bound %d",
+					tc.profile, seed, tp.NumSwitches(), tc.maxSwitches)
+			}
+		}
+	}
+}
+
+// TestScaleDragonflyOracle runs a full discovery on a moderate dragonfly
+// (256 switches, beyond anything in Table 1) and requires a clean,
+// non-vacuous oracle verdict — the scale experiment's correctness
+// anchor, kept small enough for the regular test suite.
+func TestScaleDragonflyOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-switch discovery run")
+	}
+	sc := Scenario{
+		Name:      "scale-dragonfly",
+		Seed:      1,
+		Algorithm: core.PaperKinds()[0].Slug(),
+	}
+	sc.Topology.Catalogue = "dragonfly 8x32"
+	rep, err := Execute(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := (Oracle{}).Check(rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Vacuous() {
+		t.Fatal("scale run was vacuous — no trustworthy convergence comparison")
+	}
+	if rep.WantDevices != 2*256 {
+		t.Fatalf("ground truth %d devices, want %d", rep.WantDevices, 2*256)
+	}
+}

@@ -150,7 +150,7 @@ func TestTable1ReportMatchesCatalogue(t *testing.T) {
 func TestRegistryHasAllExperiments(t *testing.T) {
 	want := []string{"table1", "fig4", "fig6", "fig7a", "fig7b", "fig8", "fig9",
 		"ext-partial", "ext-distributed", "ext-traffic", "ext-loss", "ext-failover",
-		"ext-churn"}
+		"ext-churn", "ext-scale"}
 	got := Runners()
 	if len(got) != len(want) {
 		t.Fatalf("%d runners, want %d", len(got), len(want))

@@ -16,6 +16,9 @@ func TestAllRunnersSmoke(t *testing.T) {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
 			t.Parallel()
+			if r.Heavy {
+				t.Skip("heavy experiment; covered by its own trimmed test")
+			}
 			reports := r.Run(Opts{Seeds: 1})
 			if len(reports) == 0 {
 				t.Fatal("runner produced no reports")

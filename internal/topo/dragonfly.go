@@ -1,0 +1,73 @@
+package topo
+
+import "fmt"
+
+// Dragonfly builds a diameter-3 dragonfly fabric D3(K, M) after Draper's
+// "The Swapped Dragonfly": M groups of K switches each, every group a
+// complete graph, and every pair of groups joined by exactly one global
+// link. The family is linearly scalable in M: doubling M doubles the
+// switch count while the intra-group wiring is untouched, only the
+// per-switch global-port budget h = ceil((M-1)/K) grows.
+//
+// Any switch reaches any other in at most three hops — one intra-group
+// hop to the gateway holding the global link, the global hop, and one
+// intra-group hop inside the destination group — which is the property
+// the scale experiments lean on: discovery path length stays flat as the
+// fabric grows to tens of thousands of switches.
+//
+// Port layout on every switch (radix K-1+h+EndpointReserve):
+//
+//   - ports 0..K-2: intra-group links. The link between group members
+//     i < j uses port j-1 on i and port i on j.
+//   - ports K-1..K-2+h: global links. Group g's connection number
+//     j (0-based, to group (g+1+j) mod M) is carried by member j%K on
+//     global port j/K.
+//   - last port: the switch's endpoint (one per switch, as everywhere in
+//     this repo).
+func Dragonfly(K, M int) *Topology {
+	if K < 2 || M < 2 {
+		panic(fmt.Sprintf("topo: dragonfly %dx%d needs K >= 2 and M >= 2", K, M))
+	}
+	h := (M - 2 + K) / K // ceil((M-1)/K) global ports per switch
+	ports := (K - 1) + h + EndpointReserve
+	t := New(fmt.Sprintf("dragonfly %dx%d", K, M))
+
+	sws := make([]NodeID, K*M)
+	for g := 0; g < M; g++ {
+		for s := 0; s < K; s++ {
+			sws[g*K+s] = t.AddSwitch(ports, fmt.Sprintf("sw(g%d.%d)", g, s))
+		}
+	}
+
+	// Intra-group complete graphs.
+	for g := 0; g < M; g++ {
+		for i := 0; i < K; i++ {
+			for j := i + 1; j < K; j++ {
+				t.mustConnect(sws[g*K+i], j-1, sws[g*K+j], i)
+			}
+		}
+	}
+
+	// Global links: one per unordered group pair. Each side derives its
+	// own (member, port) from its connection number; creating the link
+	// from the lower group covers both directions.
+	globalPort := func(j int) (member, port int) { return j % K, K - 1 + j/K }
+	for a := 0; a < M; a++ {
+		for b := a + 1; b < M; b++ {
+			ma, pa := globalPort(b - a - 1)
+			mb, pb := globalPort(M - (b - a) - 1)
+			t.mustConnect(sws[a*K+ma], pa, sws[b*K+mb], pb)
+		}
+	}
+
+	for g := 0; g < M; g++ {
+		for s := 0; s < K; s++ {
+			ep := t.AddEndpoint(fmt.Sprintf("ep(g%d.%d)", g, s))
+			t.mustConnect(sws[g*K+s], ports-1, ep, 0)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		panic(err) // the construction above is valid for all K, M >= 2
+	}
+	return t
+}

@@ -1,0 +1,262 @@
+package topo
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/asi"
+	"repro/internal/sim"
+)
+
+// TestEveryFamilyValidates is the table-driven generator property suite:
+// every family must produce a Validate-clean topology across a parameter
+// grid plus seeded random sizes.
+func TestEveryFamilyValidates(t *testing.T) {
+	type instance struct {
+		name  string
+		build func() *Topology
+	}
+	var cases []instance
+	for r := 2; r <= 5; r++ {
+		for c := 2; c <= 6; c += 2 {
+			r, c := r, c
+			cases = append(cases,
+				instance{fmt.Sprintf("mesh-%dx%d", r, c), func() *Topology { return Mesh(r, c) }},
+				instance{fmt.Sprintf("torus-%dx%d", r, c), func() *Topology { return Torus(r, c) }},
+			)
+		}
+	}
+	for _, p := range []struct{ m, n int }{{4, 2}, {4, 3}, {6, 2}, {8, 2}, {8, 3}} {
+		p := p
+		cases = append(cases, instance{
+			fmt.Sprintf("fattree-%d-%d", p.m, p.n),
+			func() *Topology { return FatTree(p.m, p.n) },
+		})
+	}
+	for _, p := range []struct{ k, m int }{{2, 2}, {3, 5}, {4, 9}, {5, 13}, {8, 17}, {16, 40}} {
+		p := p
+		cases = append(cases, instance{
+			fmt.Sprintf("dragonfly-%dx%d", p.k, p.m),
+			func() *Topology { return Dragonfly(p.k, p.m) },
+		})
+	}
+	for _, p := range []struct{ ports, eps int }{{8, 8}, {8, 32}, {16, 100}, {24, 288}, {32, 500}, {64, 2048}} {
+		p := p
+		cases = append(cases, instance{
+			fmt.Sprintf("autofat-%dx%d", p.ports, p.eps),
+			func() *Topology { return AutoFatTree(AutoFatTreeSpec{Ports: p.ports, Endpoints: p.eps}) },
+		})
+	}
+	rng := sim.NewRNG(7)
+	for i := 0; i < 8; i++ {
+		nsw := 2 + rng.Intn(300)
+		extra := rng.Intn(64)
+		seed := rng.Uint64()
+		cases = append(cases, instance{
+			fmt.Sprintf("random-%d+%d", nsw, extra),
+			func() *Topology { return Random(nsw, extra, sim.NewRNG(seed)) },
+		})
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			tp := c.build()
+			if err := tp.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tp.NumSwitches() == 0 || tp.NumEndpoints() == 0 {
+				t.Fatalf("%s: %d switches, %d endpoints", tp.Name, tp.NumSwitches(), tp.NumEndpoints())
+			}
+		})
+	}
+}
+
+// switchDiameter computes the diameter of the switch-to-switch graph by
+// BFS from every switch (endpoints excluded: they hang one hop off their
+// switch and would add a constant 2).
+func switchDiameter(tp *Topology) int {
+	var switches []NodeID
+	for _, n := range tp.Nodes {
+		if n.Type == asi.DeviceSwitch {
+			switches = append(switches, n.ID)
+		}
+	}
+	diameter := 0
+	dist := make(map[NodeID]int, len(switches))
+	for _, start := range switches {
+		for k := range dist {
+			delete(dist, k)
+		}
+		dist[start] = 0
+		queue := []NodeID{start}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for p := 0; p < tp.Nodes[n].Ports; p++ {
+				peer, _, ok := tp.Peer(n, p)
+				if !ok || tp.Nodes[peer].Type != asi.DeviceSwitch {
+					continue
+				}
+				if _, seen := dist[peer]; seen {
+					continue
+				}
+				dist[peer] = dist[n] + 1
+				if dist[peer] > diameter {
+					diameter = dist[peer]
+				}
+				queue = append(queue, peer)
+			}
+		}
+		if len(dist) != len(switches) {
+			return -1 // disconnected switch graph
+		}
+	}
+	return diameter
+}
+
+// TestDragonflyDiameter checks the family's defining property on sampled
+// (K, M): the switch graph has diameter <= 3 — one hop to the gateway,
+// one global hop, one hop inside the destination group.
+func TestDragonflyDiameter(t *testing.T) {
+	for _, p := range []struct{ k, m int }{
+		{2, 2}, {2, 9}, {3, 4}, {4, 6}, {4, 16}, {5, 11}, {8, 17}, {8, 30}, {16, 40},
+	} {
+		tp := Dragonfly(p.k, p.m)
+		if d := switchDiameter(tp); d < 0 || d > 3 {
+			t.Errorf("dragonfly %dx%d: switch-graph diameter %d, want <= 3", p.k, p.m, d)
+		}
+	}
+}
+
+// TestDragonflyStructure pins the construction: counts, the global-link
+// budget, and the radix formula.
+func TestDragonflyStructure(t *testing.T) {
+	for _, p := range []struct{ k, m int }{{4, 6}, {8, 17}, {3, 10}} {
+		tp := Dragonfly(p.k, p.m)
+		if tp.NumSwitches() != p.k*p.m || tp.NumEndpoints() != p.k*p.m {
+			t.Errorf("dragonfly %dx%d: %d switches / %d endpoints",
+				p.k, p.m, tp.NumSwitches(), tp.NumEndpoints())
+		}
+		// Links: M complete graphs + one link per group pair + one
+		// endpoint per switch.
+		want := p.m*p.k*(p.k-1)/2 + p.m*(p.m-1)/2 + p.k*p.m
+		if len(tp.Links) != want {
+			t.Errorf("dragonfly %dx%d: %d links, want %d", p.k, p.m, len(tp.Links), want)
+		}
+		h := (p.m - 2 + p.k) / p.k
+		wantPorts := p.k - 1 + h + EndpointReserve
+		for _, n := range tp.Nodes {
+			if n.Type == asi.DeviceSwitch && n.Ports != wantPorts {
+				t.Fatalf("dragonfly %dx%d: switch radix %d, want %d", p.k, p.m, n.Ports, wantPorts)
+			}
+		}
+	}
+}
+
+func TestDragonflyRejectsBadParams(t *testing.T) {
+	for _, p := range []struct{ k, m int }{{1, 5}, {0, 2}, {4, 1}, {2, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Dragonfly(%d,%d) did not panic", p.k, p.m)
+				}
+			}()
+			Dragonfly(p.k, p.m)
+		}()
+	}
+}
+
+// TestAutoFatTreeDesign checks the designer's arithmetic: solved splits,
+// the single-switch degenerate case, oversubscription, and infeasible
+// specs.
+func TestAutoFatTreeDesign(t *testing.T) {
+	cases := []struct {
+		in   AutoFatTreeSpec
+		want Design
+	}{
+		{in: AutoFatTreeSpec{Ports: 8, Endpoints: 32}, want: Design{Down: 4, Up: 4, Leaves: 8, Spines: 4}},
+		{in: AutoFatTreeSpec{Ports: 16, Endpoints: 100}, want: Design{Down: 8, Up: 8, Leaves: 13, Spines: 8}},
+		{in: AutoFatTreeSpec{Ports: 8, Endpoints: 5}, want: Design{Down: 5, Up: 0, Leaves: 1, Spines: 0}},
+		// Oversubscription 2:1 halves the uplink budget: down=10, up=5
+		// fits radix 16 and needs fewer switches than non-blocking.
+		{in: AutoFatTreeSpec{Ports: 16, Endpoints: 150, Oversub: 2}, want: Design{Down: 10, Up: 5, Leaves: 15, Spines: 5}},
+	}
+	for _, c := range cases {
+		got, err := c.in.Design()
+		if err != nil {
+			t.Errorf("Design(%+v): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("Design(%+v) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []AutoFatTreeSpec{
+		{Ports: 4, Endpoints: 9},                // beyond two-layer capacity
+		{Ports: 16, Endpoints: 129},             // 16^2/2 = 128 is the cap
+		{Ports: 1, Endpoints: 1},                // radix too small
+		{Ports: 8, Endpoints: 0},                // no hosts
+		{Ports: 8, Endpoints: 16, Oversub: 0.5}, // under-subscription rejected
+	} {
+		if _, err := bad.Design(); err == nil {
+			t.Errorf("Design(%+v) accepted an infeasible spec", bad)
+		}
+	}
+	// Capacity boundary: exactly 128 endpoints on radix 16 must solve.
+	if _, err := (AutoFatTreeSpec{Ports: 16, Endpoints: 128}).Design(); err != nil {
+		t.Errorf("Design at exact capacity failed: %v", err)
+	}
+}
+
+// TestAutoFatTreeStructure checks the built cabling: uplink fan-out, host
+// attachment, and that spines carry no endpoints.
+func TestAutoFatTreeStructure(t *testing.T) {
+	spec := AutoFatTreeSpec{Ports: 8, Endpoints: 30} // partially filled last leaf
+	tp := AutoFatTree(spec)
+	d, err := spec.Design()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp.NumSwitches() != d.Switches() || tp.NumEndpoints() != spec.Endpoints {
+		t.Fatalf("%s: %d switches / %d endpoints, want %d / %d",
+			tp.Name, tp.NumSwitches(), tp.NumEndpoints(), d.Switches(), spec.Endpoints)
+	}
+	// Every leaf uplink port is cabled to a spine; spine ports beyond the
+	// leaf count are free.
+	for l := 0; l < d.Leaves; l++ {
+		for j := 0; j < d.Up; j++ {
+			peer, port, ok := tp.Peer(NodeID(l), d.Down+j)
+			if !ok || int(peer) != d.Leaves+j || port != l {
+				t.Fatalf("leaf %d uplink %d cabled to (%d,%d,%v), want spine %d port %d",
+					l, j, peer, port, ok, d.Leaves+j, l)
+			}
+		}
+	}
+	for s := 0; s < d.Spines; s++ {
+		for p := d.Leaves; p < spec.Ports; p++ {
+			if _, _, ok := tp.Peer(NodeID(d.Leaves+s), p); ok {
+				t.Fatalf("spine %d port %d unexpectedly cabled", s, p)
+			}
+		}
+	}
+}
+
+// TestExtendedCatalogueCounts mirrors TestTable1CountsMatchPaper for the
+// extended families.
+func TestExtendedCatalogueCounts(t *testing.T) {
+	for _, s := range Extended() {
+		tp := s.Build()
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+			continue
+		}
+		if tp.NumSwitches() != s.Switches || tp.NumEndpoints() != s.Endpoints {
+			t.Errorf("%s: built %d switches / %d endpoints, catalogue says %d / %d",
+				s.Name, tp.NumSwitches(), tp.NumEndpoints(), s.Switches, s.Endpoints)
+		}
+		// Catalogue names must round-trip through ByName.
+		if _, err := ByName(s.Name); err != nil {
+			t.Errorf("ByName(%q): %v", s.Name, err)
+		}
+	}
+}

@@ -14,7 +14,10 @@ const (
 	PortWest  = 1
 	PortSouth = 2
 	PortNorth = 3
-	// PortHost attaches the switch's local endpoint.
+	// PortHost attaches the switch's local endpoint. Grid switches
+	// satisfy the EndpointReserve invariant statically: the compass links
+	// are pinned to ports 0..3, so PortHost can never be stolen by an
+	// inter-switch cable.
 	PortHost = 4
 )
 

@@ -37,19 +37,89 @@ func Table1() []Spec {
 	return specs
 }
 
-// ByName builds the named Table 1 topology.
+// Extended returns the post-paper generator families' representative
+// catalogue entries: dragonfly D3(K,M) fabrics and auto-designed
+// two-layer fat-trees. Like Table1, the listed device counts double as a
+// regression check on the generators; the chaos corpus executes every
+// catalogue entry.
+func Extended() []Spec {
+	return []Spec{
+		{"dragonfly 4x6", 24, 24, func() *Topology { return Dragonfly(4, 6) }},
+		{"dragonfly 8x17", 136, 136, func() *Topology { return Dragonfly(8, 17) }},
+		{"autofat 8x32", 12, 32, func() *Topology {
+			return AutoFatTree(AutoFatTreeSpec{Ports: 8, Endpoints: 32})
+		}},
+		{"autofat 24x288", 36, 288, func() *Topology {
+			return AutoFatTree(AutoFatTreeSpec{Ports: 24, Endpoints: 288})
+		}},
+	}
+}
+
+// Catalogue returns every named topology: the paper's Table 1 followed by
+// the extended generator families.
+func Catalogue() []Spec {
+	return append(Table1(), Extended()...)
+}
+
+// ByName builds the named topology: an exact catalogue entry, or any
+// parametric family name (see ParseName).
 func ByName(name string) (*Topology, error) {
-	for _, s := range Table1() {
+	for _, s := range Catalogue() {
 		if s.Name == name {
 			return s.Build(), nil
 		}
 	}
-	return nil, fmt.Errorf("topo: unknown topology %q (see Table 1 names)", name)
+	return ParseName(name)
 }
 
-// Names lists the Table 1 topology names in order.
+// ParseName builds a topology from a parametric family name, so tools and
+// scenario specs can reference arbitrary instances without a catalogue
+// entry:
+//
+//	"RxC mesh"        Mesh(R, C), R and C >= 2
+//	"RxC torus"       Torus(R, C), R and C >= 2
+//	"M-port N-tree"   FatTree(M, N), M even >= 2, N >= 2
+//	"dragonfly KxM"   Dragonfly(K, M), K and M >= 2
+//	"autofat PxN"     AutoFatTree of radix P attaching N endpoints
+func ParseName(name string) (*Topology, error) {
+	var a, b int
+	if n, _ := fmt.Sscanf(name, "dragonfly %dx%d", &a, &b); n == 2 {
+		if a < 2 || b < 2 {
+			return nil, fmt.Errorf("topo: dragonfly %dx%d needs K >= 2 and M >= 2", a, b)
+		}
+		return Dragonfly(a, b), nil
+	}
+	if n, _ := fmt.Sscanf(name, "autofat %dx%d", &a, &b); n == 2 {
+		spec := AutoFatTreeSpec{Ports: a, Endpoints: b}
+		if _, err := spec.Design(); err != nil {
+			return nil, err
+		}
+		return AutoFatTree(spec), nil
+	}
+	if n, _ := fmt.Sscanf(name, "%d-port %d-tree", &a, &b); n == 2 {
+		if a < 2 || a%2 != 0 || b < 2 {
+			return nil, fmt.Errorf("topo: fat-tree %q needs an even port count >= 2 and depth >= 2", name)
+		}
+		return FatTree(a, b), nil
+	}
+	var kind string
+	if n, _ := fmt.Sscanf(name, "%dx%d %s", &a, &b, &kind); n == 3 && (kind == "mesh" || kind == "torus") {
+		if a < 2 || b < 2 {
+			return nil, fmt.Errorf("topo: grid %q needs both dimensions >= 2", name)
+		}
+		if kind == "mesh" {
+			return Mesh(a, b), nil
+		}
+		return Torus(a, b), nil
+	}
+	return nil, fmt.Errorf("topo: unknown topology %q (catalogue names, or parametric: %q, %q, %q, %q, %q)",
+		name, "RxC mesh", "RxC torus", "M-port N-tree", "dragonfly KxM", "autofat PxN")
+}
+
+// Names lists the catalogue topology names in order: Table 1 first, then
+// the extended families.
 func Names() []string {
-	specs := Table1()
+	specs := Catalogue()
 	names := make([]string, len(specs))
 	for i, s := range specs {
 		names[i] = s.Name

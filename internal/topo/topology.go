@@ -189,6 +189,23 @@ func (t *Topology) String() string {
 		t.Name, t.NumSwitches(), t.NumEndpoints(), len(t.Links))
 }
 
+// EndpointReserve is the number of ports every generator keeps free on
+// each switch for its local endpoint. Generators that cable switches
+// incrementally (Random, Dragonfly's global links) must consult
+// SwitchPortFree before adding an inter-switch link so the endpoint can
+// always be attached afterwards; grid generators reserve PortHost and
+// fat-trees terminate endpoints on dedicated leaf down ports, which is
+// the same invariant by construction.
+const EndpointReserve = 1
+
+// SwitchPortFree reports whether a switch of the given radix can take one
+// more inter-switch cable while keeping EndpointReserve ports free; used
+// counts the ports already cabled. This is the single port-reservation
+// rule shared by every generator, so the guard cannot drift between them.
+func SwitchPortFree(used, ports int) bool {
+	return used < ports-EndpointReserve
+}
+
 // Random returns a random connected topology of nSwitches 16-port switches
 // with extraLinks additional random cables and one endpoint per switch. It
 // is used by stress and property tests, not by the paper's experiments.
@@ -200,20 +217,36 @@ func Random(nSwitches, extraLinks int, rng *sim.RNG) *Topology {
 	for i := range sws {
 		sws[i] = t.AddSwitch(ports, fmt.Sprintf("sw%d", i))
 	}
-	// Random spanning tree keeps it connected.
+	// Random spanning tree keeps it connected. When nSwitches outgrows the
+	// radix, a hub switch can saturate; the connecting edge must then be
+	// re-picked onto a switch with a free fabric port, never dropped (a
+	// dropped edge disconnects the tree), and every switch keeps
+	// EndpointReserve ports free so the endpoint loop below cannot run out.
+	// A tree over i switches has i-1 edges, far fewer than i*(ports-1)/2,
+	// so a switch with a free port always exists.
 	perm := rng.Perm(nSwitches)
 	for i := 1; i < nSwitches; i++ {
 		a, b := perm[rng.Intn(i)], perm[i]
-		if next[a] < ports && next[b] < ports {
-			t.mustConnect(sws[a], next[a], sws[b], next[b])
-			next[a]++
-			next[b]++
+		if !SwitchPortFree(next[a], ports) {
+			// One extra draw picks the scan start, keeping the re-pick
+			// deterministic and bounded (and leaving the RNG stream of
+			// non-saturated topologies untouched).
+			j := rng.Intn(i)
+			for k := 0; k < i; k++ {
+				if cand := perm[(j+k)%i]; SwitchPortFree(next[cand], ports) {
+					a = cand
+					break
+				}
+			}
 		}
+		t.mustConnect(sws[a], next[a], sws[b], next[b])
+		next[a]++
+		next[b]++
 	}
 	for i := 0; i < extraLinks; i++ {
 		a, b := rng.Intn(nSwitches), rng.Intn(nSwitches)
-		if a == b || next[a] >= ports-1 || next[b] >= ports-1 {
-			continue // keep one port free per switch for the endpoint
+		if a == b || !SwitchPortFree(next[a], ports) || !SwitchPortFree(next[b], ports) {
+			continue // extra links are optional; skipping keeps the reserve
 		}
 		t.mustConnect(sws[a], next[a], sws[b], next[b])
 		next[a]++
@@ -223,6 +256,9 @@ func Random(nSwitches, extraLinks int, rng *sim.RNG) *Topology {
 		ep := t.AddEndpoint(fmt.Sprintf("ep%d", i))
 		t.mustConnect(sw, next[i], ep, 0)
 		next[i]++
+	}
+	if err := t.Validate(); err != nil {
+		panic(err) // the construction above guarantees a valid topology
 	}
 	return t
 }

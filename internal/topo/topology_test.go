@@ -209,8 +209,86 @@ func TestByName(t *testing.T) {
 	if _, err := ByName("17x17 hypercube"); err == nil {
 		t.Error("unknown name accepted")
 	}
-	if len(Names()) != len(Table1()) {
+	if len(Names()) != len(Table1())+len(Extended()) {
 		t.Error("Names length mismatch")
+	}
+}
+
+func TestByNameParametric(t *testing.T) {
+	good := map[string]struct{ sw, ep int }{
+		"12x12 torus":     {144, 144},
+		"5x4 mesh":        {20, 20},
+		"6-port 2-tree":   {9, 18},
+		"dragonfly 6x13":  {78, 78},
+		"autofat 16x100":  {21, 100}, // down=8 -> 13 leaves + 8 spines
+		"dragonfly 16x65": {1040, 1040},
+	}
+	for name, want := range good {
+		tp, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if err := tp.Validate(); err != nil {
+			t.Errorf("%q: %v", name, err)
+		}
+		if tp.NumSwitches() != want.sw || tp.NumEndpoints() != want.ep {
+			t.Errorf("%q: %d switches / %d endpoints, want %d / %d",
+				name, tp.NumSwitches(), tp.NumEndpoints(), want.sw, want.ep)
+		}
+	}
+	for _, name := range []string{
+		"1x5 mesh", "dragonfly 1x9", "3-port 2-tree", "autofat 4x9",
+		"0x0 torus", "dragonfly four by six",
+	} {
+		if _, err := ByName(name); err == nil {
+			t.Errorf("ByName(%q) accepted a bad parametric name", name)
+		}
+	}
+}
+
+// TestRandomPortExhaustionRegression pins the hub-saturation bug: at
+// these sizes the random spanning tree drives one switch's degree past
+// the 16-port radix. The seed-state generator then both dropped the
+// connecting edge (disconnecting the topology) and left no port for the
+// endpoint (panicking in mustConnect); the fixed generator must re-pick
+// a partner with a free port and keep the endpoint reservation.
+func TestRandomPortExhaustionRegression(t *testing.T) {
+	cases := []struct {
+		n, extra int
+		seed     uint64
+	}{
+		{1000, 0, 203}, // max tree degree 16 pre-fix
+		{2000, 0, 108}, // max tree degree 18 pre-fix
+		{2000, 64, 29},
+		{500, 32, 466}, // degree 15: legal pre-fix, must stay legal
+	}
+	for _, c := range cases {
+		tp := Random(c.n, c.extra, sim.NewRNG(c.seed)) // panicked pre-fix
+		if err := tp.Validate(); err != nil {
+			t.Errorf("Random(%d,%d,seed=%d): %v", c.n, c.extra, c.seed, err)
+		}
+		if tp.NumSwitches() != c.n || tp.NumEndpoints() != c.n {
+			t.Errorf("Random(%d,%d,seed=%d): %d switches / %d endpoints",
+				c.n, c.extra, c.seed, tp.NumSwitches(), tp.NumEndpoints())
+		}
+		// The endpoint reservation must hold on every switch: at most
+		// ports-EndpointReserve inter-switch cables.
+		for _, n := range tp.Nodes {
+			if n.Type != asi.DeviceSwitch {
+				continue
+			}
+			interSwitch := 0
+			for p := 0; p < n.Ports; p++ {
+				if peer, _, ok := tp.Peer(n.ID, p); ok && tp.Nodes[peer].Type == asi.DeviceSwitch {
+					interSwitch++
+				}
+			}
+			if !SwitchPortFree(interSwitch-1, n.Ports) {
+				t.Fatalf("Random(%d,%d,seed=%d): switch %s has %d inter-switch cables, radix %d",
+					c.n, c.extra, c.seed, n.Label, interSwitch, n.Ports)
+			}
+		}
 	}
 }
 
