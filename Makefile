@@ -5,7 +5,9 @@
 #                   race-detector test, 1-iteration benchmark smoke,
 #                   JSON run-report schema smoke, span pipeline smoke,
 #                   spans-disabled zero-alloc regression, chaos smoke,
-#                   parallel-sweep determinism smoke
+#                   parallel-sweep determinism smoke, region-sharded
+#                   parallel-path identity smoke, benchmark regression
+#                   diff against the committed BENCH_sim.json
 #   make race     - go test -race ./...
 #   make fuzz     - bounded native-fuzzing burst on the chaos harness
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
@@ -15,9 +17,13 @@
 
 GO ?= go
 BENCHTIME ?= 3x
+# Each benchmark runs BENCHCOUNT times; benchjson -diff compares the
+# per-benchmark minimum, which keeps the regression gate stable on busy
+# or single-core hosts despite the short BENCHTIME.
+BENCHCOUNT ?= 5
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke fuzz
+.PHONY: all build vet test race verify bench bench-smoke bench-diff fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke fuzz
 
 all: build vet test
 
@@ -86,8 +92,25 @@ fuzz:
 	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzGenerated$$' -fuzztime $(FUZZTIME)
 
-verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke
+# par-smoke proves the region-sharded parallel simulation path: one
+# scenario per topology family (torus, fat-tree, dragonfly, autofat) at
+# R in {2,4,8} must reconstruct the sequential referee's exact database
+# fingerprint and pass the convergence oracle.
+par-smoke:
+	$(GO) test -run 'TestParallelRegions' ./internal/chaos/
+
+# bench-diff re-runs the benchmark suite and gates it against the
+# committed BENCH_sim.json: an allocs/op increase beyond max(2, 0.1%)
+# rounding/GC slack fails; ns/op may regress at most 10% plus the noise
+# both runs measured across their -count repeats. Regenerate the
+# baseline with `make bench` when a change legitimately moves the
+# numbers.
+bench-diff:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \
+		| $(GO) run ./cmd/benchjson -diff BENCH_sim.json
+
+verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke bench-diff
 
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) . ./internal/sim \
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \
 		| $(GO) run ./cmd/benchjson -tee -baseline $(BENCH_BASELINE) -o BENCH_sim.json

@@ -33,6 +33,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
 	seeds := flag.Int("seeds", 4, "repetitions of each change scenario")
 	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
+	regions := flag.Int("regions", 0, "region-sharded parallel simulation regions for experiments that support it (0/1 = sequential)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "emit one machine-readable run-report envelope on stdout")
 	outDir := flag.String("o", "", "also write one .txt (and .csv) file per report into this directory")
@@ -62,7 +63,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/pprof and /debug/vars\n", *debugAddr)
 	}
 
-	opts := experiment.Opts{Seeds: *seeds, Workers: *workers}
+	opts := experiment.Opts{Seeds: *seeds, Workers: *workers, Regions: *regions}
 	var runners []experiment.Runner
 	if *exp == "all" {
 		for _, r := range experiment.Runners() {
@@ -107,6 +108,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "%-16s %8.2fs wall  %12d events  %10.0f events/s\n",
 			r.ID, elapsed.Seconds(), events,
 			float64(events)/elapsed.Seconds())
+		// Stamp each report with its experiment's wall-clock cost and
+		// simulator throughput, so the -json envelope carries them per
+		// experiment (the renderers ignore the fields; goldens are safe).
+		for i := range reports {
+			reports[i].WallSeconds = elapsed.Seconds()
+			reports[i].Events = events
+			if elapsed > 0 {
+				reports[i].EventsPerSec = float64(events) / elapsed.Seconds()
+			}
+		}
 		for _, rep := range reports {
 			var err error
 			switch {

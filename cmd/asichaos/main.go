@@ -36,6 +36,7 @@ func main() {
 	shrink := flag.Bool("shrink", true, "greedily shrink failing scenarios before reporting")
 	spans := flag.Bool("spans", false, "trace causal spans and print the span report (replay mode)")
 	workers := flag.Int("workers", 0, "concurrent sweep executions (0 = GOMAXPROCS); output is identical at any setting")
+	regions := flag.Int("regions", 0, "region-sharded parallel simulation regions per run; scenarios with events or faults fall back to sequential")
 	verbose := flag.Bool("v", false, "print a line per scenario")
 	emitCorpus := flag.String("emit-corpus", "", "write the built-in corpus scenarios into a directory and exit")
 	flag.Parse()
@@ -52,7 +53,10 @@ func main() {
 		return
 	}
 
-	opt := chaos.Options{Telemetry: true, Spans: *spans}
+	// Telemetry adds oracle coverage, but it forces the sequential path:
+	// keep it only when regions weren't requested, so -regions actually
+	// exercises the sharded executor instead of silently falling back.
+	opt := chaos.Options{Telemetry: *regions <= 1, Spans: *spans, Regions: *regions}
 
 	if *replay != "" {
 		b, err := os.ReadFile(*replay)

@@ -6,12 +6,29 @@
 //
 //	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_sim.json
 //	benchjson -baseline results/bench_baseline.txt -o BENCH_sim.json < bench.txt
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -diff BENCH_sim.json
 //
 // The -baseline flag parses a second benchmark text file (typically the
 // pre-optimization run committed under results/) into a "baseline"
 // section of the same shape, so BENCH_sim.json carries before/after
 // numbers side by side. With -tee the input text is echoed to stderr as
 // it streams, keeping interactive `make bench` output visible.
+//
+// The -diff flag turns benchjson into a regression gate: the fresh run on
+// stdin is compared against the "current" section of a committed
+// benchjson document, and the process exits non-zero when any benchmark
+// allocates more per op than the committed run — beyond max(2, 0.1%)
+// slack for go test's integer rounding and GC-timing artifacts like
+// sync.Pool refills; a real hot-path regression allocates per event or
+// per packet and lands orders of magnitude past that — or slows down by
+// more than -ns-tolerance
+// (default 10%) beyond the measured noise: both sides fold `-count N`
+// repeats by minimum, and the time gate widens by each side's observed
+// (max-min)/min spread, so a quiet multicore host gets the pure 10% gate
+// while a contended single-core host is not failed on scheduler noise.
+// Benchmarks faster than 1µs/op are exempt from the time gate — at that
+// scale short `-benchtime` runs measure timer quantization, not the
+// code — but never from the allocation gate.
 package main
 
 import (
@@ -59,6 +76,8 @@ func main() {
 	baseline := flag.String("baseline", "", "benchmark text file to embed as the before/baseline section")
 	out := flag.String("o", "", "output file (default stdout)")
 	tee := flag.Bool("tee", false, "echo input lines to stderr while parsing")
+	diff := flag.String("diff", "", "committed benchjson document to gate the fresh run on stdin against")
+	nsTol := flag.Float64("ns-tolerance", 0.10, "allowed fractional ns/op regression in -diff mode")
 	flag.Parse()
 
 	var echo io.Writer
@@ -68,6 +87,12 @@ func main() {
 	cur, err := parse(os.Stdin, echo)
 	if err != nil {
 		fatal(err)
+	}
+	if *diff != "" {
+		if err := diffAgainst(cur, *diff, *nsTol); err != nil {
+			fatal(err)
+		}
+		return
 	}
 	doc := Output{Current: cur}
 	if *baseline != "" {
@@ -102,6 +127,141 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "benchjson:", err)
 	os.Exit(1)
+}
+
+// allocSlack is the allowed allocs/op increase before the gate fails:
+// go test rounds to an integer at tiny b.N, and GC timing perturbs
+// sync.Pool refills by a handful of allocations in the macro
+// benchmarks. Real hot-path regressions allocate per event or per
+// packet and exceed 0.1% of the baseline by orders of magnitude.
+func allocSlack(baseline float64) float64 {
+	if s := 0.001 * baseline; s > 2 {
+		return s
+	}
+	return 2
+}
+
+// nsGateFloor exempts sub-microsecond benchmarks from the time gate:
+// with the short -benchtime the verify target uses, their ns/op is
+// dominated by timer quantization. The allocation gate still applies.
+const nsGateFloor = 1000.0
+
+// diffAgainst gates a fresh run against the "current" section of a
+// committed benchjson document. An allocs/op increase beyond
+// allocSlack fails (allocation counts are otherwise deterministic);
+// ns/op may regress by at most
+// nsTol plus the noise both runs measured about themselves (the
+// (max-min)/min spread of their -count repeats). Benchmarks present on
+// only one side are reported but never fail the gate — new benchmarks
+// land before their baseline is regenerated. Both sides are aggregated
+// by min over repeated results (`go test -count N`) first: the minimum
+// is the standard noise-robust benchmark statistic, and short -benchtime
+// runs on a busy host need it.
+func diffAgainst(cur Suite, path string, nsTol float64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc Output
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	base, _ := aggregate(doc.Current.Benchmarks)
+	freshByName, order := aggregate(cur.Benchmarks)
+	regressions := 0
+	compared := 0
+	for _, name := range order {
+		fresh := freshByName[name]
+		prev, ok := base[name]
+		if !ok {
+			fmt.Printf("NEW   %-55s %12.0f ns/op %8.0f allocs/op (no committed baseline)\n",
+				name, fresh.NsPerOp, fresh.AllocsPerOp)
+			continue
+		}
+		delete(base, name)
+		compared++
+		status := "ok"
+		effTol := nsTol + fresh.nsSpread() + prev.nsSpread()
+		if fresh.AllocsPerOp > prev.AllocsPerOp+allocSlack(prev.AllocsPerOp) {
+			status = fmt.Sprintf("FAIL allocs/op %0.f -> %0.f", prev.AllocsPerOp, fresh.AllocsPerOp)
+			regressions++
+		} else if prev.NsPerOp >= nsGateFloor && fresh.NsPerOp > prev.NsPerOp*(1+effTol) {
+			status = fmt.Sprintf("FAIL ns/op %+.1f%% (limit %+.0f%% incl. measured noise)",
+				100*(fresh.NsPerOp/prev.NsPerOp-1), 100*effTol)
+			regressions++
+		}
+		fmt.Printf("%-5s %-55s %12.0f ns/op (was %12.0f) %6.0f allocs/op (was %6.0f)\n",
+			strings.Fields(status)[0], name, fresh.NsPerOp, prev.NsPerOp,
+			fresh.AllocsPerOp, prev.AllocsPerOp)
+		if strings.HasPrefix(status, "FAIL") {
+			fmt.Printf("      ^ %s\n", status)
+		}
+	}
+	for name := range base {
+		fmt.Printf("GONE  %-55s (in %s but not in this run)\n", name, path)
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d of %d benchmarks regressed vs %s", regressions, compared, path)
+	}
+	fmt.Printf("bench-diff: %d benchmarks within gate (allocs/op +max(2, 0.1%%), ns/op +%.0f%% + measured noise)\n", compared, 100*nsTol)
+	return nil
+}
+
+// aggregated is one benchmark folded across `-count N` repeats: the
+// Benchmark holds the per-field minimum, nsMax the slowest repeat, so
+// the fold knows its own measurement noise.
+type aggregated struct {
+	Benchmark
+	nsMax float64
+}
+
+// nsSpread is the fold's relative noise, (max-min)/min across repeats.
+// A single sample (or a pre-noise-tracking baseline) reports 0.
+func (a aggregated) nsSpread() float64 {
+	if a.NsPerOp <= 0 || a.nsMax <= a.NsPerOp {
+		return 0
+	}
+	return a.nsMax/a.NsPerOp - 1
+}
+
+// aggregate folds repeated results for the same (normalized) benchmark
+// name into one entry holding the minimum ns/op and allocs/op observed
+// (plus the max ns/op for the spread), returning the fold and first-seen
+// name order for stable output.
+func aggregate(benchmarks []Benchmark) (map[string]aggregated, []string) {
+	agg := make(map[string]aggregated, len(benchmarks))
+	var order []string
+	for _, bm := range benchmarks {
+		name := normalizeName(bm.Name)
+		prev, seen := agg[name]
+		if !seen {
+			order = append(order, name)
+			agg[name] = aggregated{Benchmark: bm, nsMax: bm.NsPerOp}
+			continue
+		}
+		if bm.NsPerOp < prev.NsPerOp {
+			prev.NsPerOp = bm.NsPerOp
+		}
+		if bm.NsPerOp > prev.nsMax {
+			prev.nsMax = bm.NsPerOp
+		}
+		if bm.AllocsPerOp < prev.AllocsPerOp {
+			prev.AllocsPerOp = bm.AllocsPerOp
+		}
+		agg[name] = prev
+	}
+	return agg, order
+}
+
+// normalizeName strips the -GOMAXPROCS suffix so runs from machines with
+// different core counts compare by benchmark identity.
+func normalizeName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
 }
 
 // parse reads `go test -bench` output. Unrecognized lines (PASS, ok,

@@ -34,6 +34,11 @@ type Options struct {
 	// oracle must notice (delivered-but-unassimilated reports), which is
 	// how the harness tests itself.
 	SkipPI5 int
+	// Regions > 1 selects the conservative region-sharded parallel
+	// simulation path. Scenarios the sharded fabric cannot execute —
+	// scripted events, fault plans, telemetry, spans — silently fall back
+	// to the sequential path; Report.Regions records what actually ran.
+	Regions int
 }
 
 // DefaultHorizon is far beyond any legitimate phase: the worst Table 1
@@ -97,9 +102,15 @@ type Report struct {
 	DBFingerprint uint64
 	Fingerprint   uint64
 
-	// Processed is the total simulation event count; Counters the final
-	// fabric accounting.
+	// Processed is the total simulation event count (summed over regions
+	// when sharded); Counters the final fabric accounting. Regions is the
+	// region count the run actually used (1 = sequential, including any
+	// silent fallback from Options.Regions). It is deliberately excluded
+	// from the fingerprint: event counts differ across region counts, so
+	// the cross-R identity contract is DBFingerprint plus the oracle, not
+	// the full metrics fingerprint.
 	Processed uint64
+	Regions   int
 	Counters  fabric.Counters
 	// Telemetry and Spans are present only when requested in Options.
 	Telemetry *telemetry.Snapshot
@@ -144,9 +155,17 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 		horizon = DefaultHorizon
 	}
 
-	rep := &Report{Scenario: sc, ChurnRun: -1}
-	e := sim.NewEngine()
+	regions := opt.Regions
+	if regions > 1 && (len(sc.Events) > 0 || !sc.FaultPlan().Empty() || opt.Telemetry || opt.Spans) {
+		regions = 1 // sharded fabrics cannot run these; fall back silently
+	}
+
+	rep := &Report{Scenario: sc, ChurnRun: -1, Regions: 1}
 	var (
+		e     *sim.Engine
+		group *sim.ShardGroup
+		f     *fabric.Fabric
+
 		reg       *telemetry.Registry
 		sp        *span.Tracer
 		wallStart time.Time
@@ -159,7 +178,20 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 		sp = span.New(spanCap)
 	}
 	rng := sim.NewRNG(sc.Seed*2654435761 + 1)
-	f, err := fabric.New(e, tp, fabric.Config{}, rng)
+	if regions > 1 {
+		part, perr := tp.Partition(regions, tp.Endpoints()[0])
+		if perr != nil {
+			return nil, perr
+		}
+		group = sim.NewShardGroup(part.Count, 0) // lookahead set by NewSharded
+		group.SeedRNGs(sim.NewRNG(sc.Seed*2654435761 + 2))
+		e = group.Engine(0)
+		f, err = fabric.NewSharded(group, part, tp, fabric.Config{}, rng)
+		rep.Regions = part.Count
+	} else {
+		e = sim.NewEngine()
+		f, err = fabric.New(e, tp, fabric.Config{}, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +218,14 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 	m.OnDiscoveryComplete = func(r core.Result) { rep.Results = append(rep.Results, r) }
 
 	runPhase := func(name string) bool {
+		if group != nil {
+			group.RunUntil(group.Now().Add(horizon))
+			if group.Pending() > 0 {
+				rep.Hung = name
+				return false
+			}
+			return true
+		}
 		e.RunUntil(e.Now().Add(horizon))
 		if e.Pending() > 0 {
 			rep.Hung = name
@@ -194,7 +234,11 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 		return true
 	}
 	finish := func() *Report {
-		rep.Processed = e.Processed
+		if group != nil {
+			rep.Processed = group.Processed()
+		} else {
+			rep.Processed = e.Processed
+		}
 		rep.Counters = f.Counters()
 		rep.DBFingerprint = m.DB().Fingerprint()
 		if sp != nil {

@@ -1,0 +1,100 @@
+package chaos
+
+import "testing"
+
+// TestParallelRegionsIdentity is the cross-region identity contract of
+// the parallel simulation path: for every generator family, discovery on
+// the region-sharded executor at R in {2, 4, 8} must reconstruct exactly
+// the topology the sequential referee run does (equal database
+// fingerprints) and satisfy the convergence oracle, audit included.
+// Event counts and timing may differ — cross-region credit returns ride
+// the wire with the propagation delay — which is precisely why the
+// contract is database fingerprint plus oracle, not the full metrics
+// fingerprint.
+func TestParallelRegionsIdentity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-hundred-switch discovery runs")
+	}
+	families := []string{"6x6 torus", "8-port 3-tree", "dragonfly 4x8", "autofat 16x64"}
+	for _, name := range families {
+		sc := Scenario{Name: "par " + name, Seed: 3, Algorithm: "parallel"}
+		sc.Topology.Catalogue = name
+		seq, err := Execute(sc, Options{})
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		if err := (Oracle{}).Check(seq); err != nil {
+			t.Fatalf("%s sequential oracle: %v", name, err)
+		}
+		if seq.Regions != 1 {
+			t.Fatalf("%s sequential: reports %d regions", name, seq.Regions)
+		}
+		for _, r := range []int{2, 4, 8} {
+			par, err := Execute(sc, Options{Regions: r})
+			if err != nil {
+				t.Fatalf("%s R=%d: %v", name, r, err)
+			}
+			if par.Regions < 2 {
+				t.Fatalf("%s R=%d: fell back to sequential (regions=%d)", name, r, par.Regions)
+			}
+			if err := (Oracle{}).Check(par); err != nil {
+				t.Fatalf("%s R=%d oracle: %v", name, r, err)
+			}
+			if par.DBFingerprint != seq.DBFingerprint {
+				t.Fatalf("%s R=%d: database fingerprint %#x, sequential %#x",
+					name, r, par.DBFingerprint, seq.DBFingerprint)
+			}
+			if !par.AuditRan || !seq.AuditRan {
+				t.Fatalf("%s R=%d: audit ran par=%v seq=%v", name, r, par.AuditRan, seq.AuditRan)
+			}
+			if len(par.Results) != len(seq.Results) {
+				t.Fatalf("%s R=%d: %d discovery runs, sequential %d",
+					name, r, len(par.Results), len(seq.Results))
+			}
+			p0, s0 := par.Results[0], seq.Results[0]
+			if p0.Devices != s0.Devices || p0.Switches != s0.Switches || p0.Links != s0.Links {
+				t.Fatalf("%s R=%d: discovered %d/%d/%d devices/switches/links, sequential %d/%d/%d",
+					name, r, p0.Devices, p0.Switches, p0.Links, s0.Devices, s0.Switches, s0.Links)
+			}
+		}
+	}
+}
+
+// TestParallelRegionsFallback pins the silent sequential fallback:
+// scenarios the sharded fabric cannot execute (scripted events, fault
+// plans) and observation options that pin one engine (telemetry, spans)
+// run sequentially and say so in Report.Regions.
+func TestParallelRegionsFallback(t *testing.T) {
+	base := Scenario{Seed: 11, Algorithm: "parallel"}
+	base.Topology.Catalogue = "3x3 mesh"
+
+	events := base
+	events.Events = []Event{{Op: OpDown, Node: 1, AtUS: 5}}
+	lossy := base
+	lossy.Loss = 0.05
+	lossy.MaxRetries = 3
+	lossy.BackoffUS = 50
+
+	cases := []struct {
+		name string
+		sc   Scenario
+		opt  Options
+	}{
+		{"scripted events", events, Options{Regions: 4}},
+		{"fault plan", lossy, Options{Regions: 4}},
+		{"telemetry", base, Options{Regions: 4, Telemetry: true}},
+		{"spans", base, Options{Regions: 4, Spans: true}},
+	}
+	for _, c := range cases {
+		rep, err := Execute(c.sc, c.opt)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if rep.Regions != 1 {
+			t.Fatalf("%s: ran with %d regions, want sequential fallback", c.name, rep.Regions)
+		}
+		if err := (Oracle{}).Check(rep); err != nil {
+			t.Fatalf("%s oracle: %v", c.name, err)
+		}
+	}
+}

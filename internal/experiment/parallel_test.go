@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestRunConfigParallelRegions pins the experiment-layer plumbing of the
+// region-sharded path: the outcome reports the region count and
+// per-region telemetry, the event split sums to the total, the barrier
+// protocol actually ran, and the discovered fabric matches the
+// sequential referee run exactly.
+func TestRunConfigParallelRegions(t *testing.T) {
+	seq := RunConfig(MustConfig("3x3 mesh", core.Parallel, WithSeed(5)))
+	if seq.Err != nil {
+		t.Fatalf("sequential: %v", seq.Err)
+	}
+	if seq.Regions != 1 || seq.SyncRounds != 0 || seq.RegionEvents != nil {
+		t.Fatalf("sequential outcome carries parallel telemetry: %+v", seq)
+	}
+
+	out := RunConfig(MustConfig("3x3 mesh", core.Parallel, WithSeed(5), WithParallelRegions(4)))
+	if out.Err != nil {
+		t.Fatalf("parallel: %v", out.Err)
+	}
+	if out.Regions != 4 {
+		t.Fatalf("ran %d regions, want 4", out.Regions)
+	}
+	if out.SyncRounds == 0 {
+		t.Fatal("no barrier rounds recorded; the parallel path did not run")
+	}
+	if len(out.RegionEvents) != out.Regions {
+		t.Fatalf("%d region event counts for %d regions", len(out.RegionEvents), out.Regions)
+	}
+	var sum uint64
+	for _, n := range out.RegionEvents {
+		sum += n
+	}
+	if sum != out.Events {
+		t.Fatalf("region events sum to %d, total %d", sum, out.Events)
+	}
+	if out.Wall <= 0 || out.EventsPerSec <= 0 {
+		t.Fatalf("wall=%v events/s=%v, want both positive", out.Wall, out.EventsPerSec)
+	}
+
+	// The discovered fabric must match the sequential referee.
+	if out.Result.Devices != seq.Result.Devices ||
+		out.Result.Switches != seq.Result.Switches ||
+		out.Result.Links != seq.Result.Links {
+		t.Fatalf("parallel discovered %d/%d/%d, sequential %d/%d/%d",
+			out.Result.Devices, out.Result.Switches, out.Result.Links,
+			seq.Result.Devices, seq.Result.Switches, seq.Result.Links)
+	}
+}
+
+// TestParallelRegionsValidation pins the exclusion rules: the parallel
+// path cannot carry per-engine instrumentation or fault injection, and
+// NewConfig says so up front.
+func TestParallelRegionsValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"negative", []Option{WithParallelRegions(-1)}, "negative region count"},
+		{"telemetry", []Option{WithParallelRegions(2), WithTelemetry()}, "telemetry is unsupported"},
+		{"spans", []Option{WithParallelRegions(2), WithSpans()}, "span tracing is unsupported"},
+		{"loss", []Option{WithParallelRegions(2), WithLoss(0.1)}, "fault injection is unsupported"},
+	}
+	for _, c := range cases {
+		_, err := NewConfig("3x3 mesh", core.Parallel, c.opts...)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Fatalf("%s: error %v, want %q", c.name, err, c.want)
+		}
+	}
+	// Sequential region counts stay valid.
+	if _, err := NewConfig("3x3 mesh", core.Parallel, WithParallelRegions(1), WithTelemetry()); err != nil {
+		t.Fatalf("regions=1 with telemetry rejected: %v", err)
+	}
+}

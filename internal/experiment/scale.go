@@ -50,13 +50,14 @@ const scaleHorizon = 3600 * sim.Second
 // alive-fabric ground truth by the oracle; audited rows rediscover the
 // converged fabric a second time. Rows run sequentially so the
 // events-per-second column is honest single-run simulator throughput.
-func ExtScale() Report {
-	return extScale(scaleRows())
+// regions > 1 runs each row on the region-sharded parallel path.
+func ExtScale(regions int) Report {
+	return extScale(scaleRows(), regions)
 }
 
 // extScale runs the sweep over an explicit row set; tests use a trimmed
 // one to keep the regular suite fast.
-func extScale(rows []scaleRow) Report {
+func extScale(rows []scaleRow, regions int) Report {
 	r := Report{
 		ID:     "ext-scale",
 		Title:  "Discovery at scale: 100-10,000-switch fabrics across all generator families",
@@ -67,6 +68,10 @@ func extScale(rows []scaleRow) Report {
 			"Events/s is wall-clock simulator throughput for that row, measured sequentially",
 		},
 	}
+	if regions > 1 {
+		r.Notes = append(r.Notes,
+			fmt.Sprintf("rows run on the region-sharded parallel path (up to %d regions, link-latency lookahead)", regions))
+	}
 	for _, row := range rows {
 		sc := chaos.Scenario{
 			Name:      "scale " + row.Topology,
@@ -74,10 +79,15 @@ func extScale(rows []scaleRow) Report {
 			Algorithm: "parallel",
 		}
 		sc.Topology.Catalogue = row.Topology
-		opt := chaos.Options{Horizon: scaleHorizon, NoAudit: !row.Audit}
+		opt := chaos.Options{Horizon: scaleHorizon, NoAudit: !row.Audit, Regions: regions}
 		start := time.Now()
 		rep, err := chaos.Execute(sc, opt)
 		wall := time.Since(start)
+		if rep != nil {
+			// Chaos runs bypass RunConfig, so fold their event counts into
+			// the package tally asibench derives events/sec from.
+			totalEvents.Add(rep.Processed)
+		}
 		if err != nil {
 			r.Rows = append(r.Rows, []string{row.Topology, "", "", "", "", "", "", "ERR " + err.Error()})
 			continue

@@ -41,6 +41,9 @@ func (f *Fabric) EnableTelemetry(reg *telemetry.Registry) {
 		f.tel = nil
 		return
 	}
+	if f.group != nil {
+		panic("fabric: telemetry is unsupported with parallel regions")
+	}
 	f.tel = &fabricTelemetry{
 		linkTx:      reg.CounterVec(MetricLinkTx, len(f.links)),
 		linkStall:   reg.CounterVec(MetricLinkStall, len(f.links)),
@@ -57,5 +60,5 @@ func (f *Fabric) FinishTelemetry(reg *telemetry.Registry) {
 	if reg == nil {
 		return
 	}
-	reg.Counter(MetricLinkFlaps).Add(f.counters.LinkFlaps)
+	reg.Counter(MetricLinkFlaps).Add(f.Counters().LinkFlaps)
 }

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"testing"
+)
+
+// The shard tests drive a synthetic ping-chain workload: `wlChains`
+// chains of events, where every event of chain c fires at a time
+// congruent to c modulo wlChains. Distinct residues mean no two events
+// anywhere share a timestamp, so the single-engine firing order and the
+// merged-by-time multi-engine order are directly comparable — the fixed
+// interleave rule is simply "ascending event time". Every third step a
+// chain hops to the next region (via Post when sharded), so the
+// workload exercises the conservative machinery, not just independent
+// queues. Step deltas never depend on the region count, so the 1-region
+// and 2-region runs describe the identical event stream.
+const (
+	wlChains = 8
+	wlSteps  = 40
+	wlL      = Duration(wlChains) // lookahead; hop deltas stay >= this
+)
+
+type wlEntry struct {
+	at    Time
+	chain int
+	step  int
+}
+
+// wlArg carries one step's identity through AtArg/Post.
+type wlArg struct {
+	chain, step, region int
+}
+
+// runWorkload executes the ping-chain on nRegions engines (1 = plain
+// sequential engine) and returns the time-merged event log.
+func runWorkload(t *testing.T, nRegions int) ([]wlEntry, *ShardGroup) {
+	t.Helper()
+	g := NewShardGroup(nRegions, wlL)
+	logs := make([][]wlEntry, nRegions)
+
+	var fire ArgHandler
+	fire = func(e *Engine, arg any) {
+		a := arg.(wlArg)
+		logs[a.region] = append(logs[a.region], wlEntry{at: e.Now(), chain: a.chain, step: a.step})
+		if a.step+1 >= wlSteps {
+			return
+		}
+		if (a.step+1)%3 == 0 {
+			// Hop to the next region. The delta is a residue-preserving
+			// multiple of wlChains that clears the lookahead.
+			dst := (a.region + 1) % nRegions
+			next := wlArg{chain: a.chain, step: a.step + 1, region: dst}
+			if dst == a.region {
+				e.AfterArg(2*wlChains, fire, next)
+			} else {
+				g.Post(a.region, dst, e.Now().Add(2*wlChains), fire, next)
+			}
+			return
+		}
+		delta := Duration(wlChains * (1 + (a.chain*7+a.step)%5))
+		e.AfterArg(delta, fire, wlArg{chain: a.chain, step: a.step + 1, region: a.region})
+	}
+
+	for c := 0; c < wlChains; c++ {
+		r := c % nRegions
+		g.Engine(r).AtArg(Time(1000+c), fire, wlArg{chain: c, step: 0, region: r})
+	}
+	g.Run()
+
+	// Merge per-region logs by event time. Residues are distinct by
+	// construction, so the merge order is total and unambiguous.
+	var merged []wlEntry
+	idx := make([]int, nRegions)
+	for {
+		best := -1
+		for r := 0; r < nRegions; r++ {
+			if idx[r] >= len(logs[r]) {
+				continue
+			}
+			if best < 0 || logs[r][idx[r]].at < logs[best][idx[best]].at {
+				best = r
+			}
+		}
+		if best < 0 {
+			break
+		}
+		merged = append(merged, logs[best][idx[best]])
+		idx[best]++
+	}
+	return merged, g
+}
+
+// TestShardSplitStreamMatchesSingleEngine is the cross-engine
+// determinism property: splitting one event stream across two engines
+// and merging their logs by the fixed interleave rule (ascending event
+// time) replays exactly the order a single engine produces.
+func TestShardSplitStreamMatchesSingleEngine(t *testing.T) {
+	single, _ := runWorkload(t, 1)
+	split, g := runWorkload(t, 2)
+	if len(single) != wlChains*wlSteps {
+		t.Fatalf("single engine fired %d events, want %d", len(single), wlChains*wlSteps)
+	}
+	if g.Cross == 0 {
+		t.Fatal("two-region run posted no cross-region messages; the workload is not exercising the protocol")
+	}
+	if len(split) != len(single) {
+		t.Fatalf("split run fired %d events, single %d", len(split), len(single))
+	}
+	for i := range single {
+		if single[i] != split[i] {
+			t.Fatalf("event %d: single %+v, split %+v", i, single[i], split[i])
+		}
+	}
+}
+
+// TestShardGroupDeterministic pins run-to-run stability: two identical
+// two-region runs must produce identical logs and identical protocol
+// statistics.
+func TestShardGroupDeterministic(t *testing.T) {
+	log1, g1 := runWorkload(t, 2)
+	log2, g2 := runWorkload(t, 2)
+	if len(log1) != len(log2) {
+		t.Fatalf("reruns fired %d vs %d events", len(log1), len(log2))
+	}
+	for i := range log1 {
+		if log1[i] != log2[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, log1[i], log2[i])
+		}
+	}
+	if g1.Rounds != g2.Rounds || g1.Inline != g2.Inline || g1.Stalls != g2.Stalls || g1.Cross != g2.Cross {
+		t.Fatalf("protocol stats differ across reruns: %+v vs %+v",
+			[4]uint64{g1.Rounds, g1.Inline, g1.Stalls, g1.Cross},
+			[4]uint64{g2.Rounds, g2.Inline, g2.Stalls, g2.Cross})
+	}
+}
+
+// TestShardGroupRunUntil pins the horizon contract: events at the
+// deadline fire, later ones stay queued, and all region clocks agree on
+// the deadline afterwards (matching Engine.RunUntil).
+func TestShardGroupRunUntil(t *testing.T) {
+	g := NewShardGroup(2, 10)
+	var fired []Time
+	rec := func(e *Engine, _ any) { fired = append(fired, e.Now()) }
+	g.Engine(0).AtArg(100, rec, nil)
+	g.Engine(1).AtArg(200, rec, nil)
+	g.Engine(0).AtArg(300, rec, nil)
+	end := g.RunUntil(200)
+	if end != 200 || g.Now() != 200 {
+		t.Fatalf("RunUntil(200) = %v, Now() = %v", end, g.Now())
+	}
+	if len(fired) != 2 || fired[0] != 100 || fired[1] != 200 {
+		t.Fatalf("fired %v, want [100 200]", fired)
+	}
+	if g.Pending() != 1 {
+		t.Fatalf("%d events pending, want 1", g.Pending())
+	}
+	for i := 0; i < 2; i++ {
+		if got := g.Engine(i).Now(); got != 200 {
+			t.Fatalf("region %d clock %v, want 200", i, got)
+		}
+	}
+	if end := g.Run(); end != 300 {
+		t.Fatalf("drain ended at %v, want 300", end)
+	}
+	if g.Pending() != 0 {
+		t.Fatalf("%d events pending after drain", g.Pending())
+	}
+}
+
+// TestShardGroupValidation covers the constructor and setter contracts:
+// region counts, lookahead clamping, and distance-matrix shape checks.
+func TestShardGroupValidation(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("NewShardGroup(0)", func() { NewShardGroup(0, 1) })
+
+	g := NewShardGroup(2, 0)
+	if g.Lookahead() != 1 {
+		t.Fatalf("zero lookahead clamped to %v, want 1", g.Lookahead())
+	}
+	mustPanic("ragged matrix", func() { g.SetDistances([][]int32{{0, 1}}) })
+	mustPanic("nonzero diagonal", func() { g.SetDistances([][]int32{{1, 1}, {1, 0}}) })
+	mustPanic("zero off-diagonal", func() { g.SetDistances([][]int32{{0, 0}, {1, 0}}) })
+	g.SetDistances([][]int32{{0, 3}, {3, 0}})
+
+	// RNG seeding: per-region streams exist and are distinct objects.
+	g.SeedRNGs(NewRNG(7))
+	if g.RNG(0) == nil || g.RNG(1) == nil || g.RNG(0) == g.RNG(1) {
+		t.Fatal("SeedRNGs did not derive distinct per-region streams")
+	}
+}
+
+// TestShardGroupSingleRegion pins the degenerate case: one region
+// delegates straight to the engine with no barrier overhead.
+func TestShardGroupSingleRegion(t *testing.T) {
+	g := NewShardGroup(1, 5)
+	n := 0
+	g.Engine(0).AtArg(50, func(*Engine, any) { n++ }, nil)
+	if end := g.Run(); end != 50 {
+		t.Fatalf("Run() = %v, want 50", end)
+	}
+	if n != 1 || g.Rounds != 0 {
+		t.Fatalf("n=%d rounds=%d, want 1 event and 0 barrier rounds", n, g.Rounds)
+	}
+}

@@ -1,0 +1,190 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/asi"
+)
+
+// Partition assigns every node of a topology to exactly one region for
+// the conservative parallel simulation path. Region 0 always contains the
+// fabric-manager host, so the FM and its host endpoint share an event
+// queue and never cross a shard boundary.
+type Partition struct {
+	// Count is the number of regions actually produced; it may be lower
+	// than requested when the fabric has fewer switches.
+	Count int
+	// Region maps NodeID to region index. Endpoints inherit the region of
+	// the switch they attach to.
+	Region []int
+	// CutLinks indexes into Topology.Links: the links whose two ends live
+	// in different regions. Only these links carry cross-region traffic.
+	CutLinks []int
+}
+
+// Partition splits the topology into up to regions regions by
+// farthest-point seeding followed by multi-source BFS over the
+// switch-to-switch adjacency (a balanced edge-cut heuristic). The switch
+// cabled to host's endpoint seeds region 0, so the FM is always
+// co-located with its host. The result is a pure function of the
+// topology and arguments — no randomness — so identical inputs partition
+// identically on every run.
+func (t *Topology) Partition(regions int, host NodeID) (*Partition, error) {
+	if regions < 1 {
+		return nil, fmt.Errorf("topo %s: partition into %d regions", t.Name, regions)
+	}
+	if int(host) < 0 || int(host) >= len(t.Nodes) || t.Nodes[host].Type != asi.DeviceEndpoint {
+		return nil, fmt.Errorf("topo %s: partition host %d is not an endpoint", t.Name, host)
+	}
+	hostSwitch, _, ok := t.Peer(host, 0)
+	if !ok || t.Nodes[hostSwitch].Type != asi.DeviceSwitch {
+		return nil, fmt.Errorf("topo %s: host %d is not cabled to a switch", t.Name, host)
+	}
+	if regions > t.NumSwitches() {
+		regions = t.NumSwitches()
+	}
+
+	// Switch-to-switch adjacency in Links order, so traversal order — and
+	// therefore the partition — is deterministic.
+	adj := make([][]NodeID, len(t.Nodes))
+	for _, l := range t.Links {
+		if t.Nodes[l.A].Type == asi.DeviceSwitch && t.Nodes[l.B].Type == asi.DeviceSwitch {
+			adj[l.A] = append(adj[l.A], l.B)
+			adj[l.B] = append(adj[l.B], l.A)
+		}
+	}
+
+	// Farthest-point seeding: region 0 grows from the host's switch; each
+	// subsequent seed is the switch farthest (in hops) from all previous
+	// seeds, lowest NodeID on ties.
+	seeds := []NodeID{hostSwitch}
+	distToSeeds := make([]int, len(t.Nodes))
+	for i := range distToSeeds {
+		distToSeeds[i] = -1 // unreached
+	}
+	relax := func(from NodeID) {
+		distToSeeds[from] = 0
+		queue := []NodeID{from}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, m := range adj[n] {
+				if distToSeeds[m] < 0 || distToSeeds[n]+1 < distToSeeds[m] {
+					distToSeeds[m] = distToSeeds[n] + 1
+					queue = append(queue, m)
+				}
+			}
+		}
+	}
+	relax(hostSwitch)
+	for len(seeds) < regions {
+		far, farDist := NodeID(-1), -1
+		for _, n := range t.Nodes {
+			if n.Type != asi.DeviceSwitch {
+				continue
+			}
+			if distToSeeds[n.ID] > farDist {
+				far, farDist = n.ID, distToSeeds[n.ID]
+			}
+		}
+		if farDist <= 0 {
+			break // every switch is already a seed or adjacent-equivalent
+		}
+		seeds = append(seeds, far)
+		relax(far)
+	}
+
+	// Multi-source BFS from all seeds at once: each switch joins the
+	// region of the first seed wave to reach it, with lower region index
+	// winning same-step ties via queue order.
+	region := make([]int, len(t.Nodes))
+	for i := range region {
+		region[i] = -1
+	}
+	var queue []NodeID
+	for r, s := range seeds {
+		region[s] = r
+		queue = append(queue, s)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, m := range adj[n] {
+			if region[m] < 0 {
+				region[m] = region[n]
+				queue = append(queue, m)
+			}
+		}
+	}
+	for _, n := range t.Nodes {
+		if n.Type == asi.DeviceSwitch && region[n.ID] < 0 {
+			return nil, fmt.Errorf("topo %s: switch %d unreached by partition BFS", t.Name, n.ID)
+		}
+	}
+
+	// Endpoints ride with their switch.
+	for _, n := range t.Nodes {
+		if n.Type != asi.DeviceEndpoint {
+			continue
+		}
+		sw, _, ok := t.Peer(n.ID, 0)
+		if !ok {
+			return nil, fmt.Errorf("topo %s: endpoint %d has no cable", t.Name, n.ID)
+		}
+		region[n.ID] = region[sw]
+	}
+
+	p := &Partition{Count: len(seeds), Region: region}
+	for i, l := range t.Links {
+		if region[l.A] != region[l.B] {
+			p.CutLinks = append(p.CutLinks, i)
+		}
+	}
+	return p, nil
+}
+
+// RegionDistances returns the hop-distance matrix of the region graph
+// induced by the partition's cut links: d[i][j] is the minimum number of
+// cross-region link traversals on any region path from i to j. Regions
+// unreachable from one another (impossible in a connected fabric) are
+// reported at the conservative minimum of 1. The parallel scheduler uses
+// the matrix to widen execution horizons for far-apart regions.
+func (p *Partition) RegionDistances(t *Topology) [][]int32 {
+	n := p.Count
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for _, li := range p.CutLinks {
+		l := t.Links[li]
+		a, b := p.Region[l.A], p.Region[l.B]
+		adj[a][b] = true
+		adj[b][a] = true
+	}
+	d := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		d[i] = make([]int32, n)
+		for j := range d[i] {
+			if j != i {
+				d[i][j] = -1
+			}
+		}
+		queue := []int{i}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if adj[u][v] && d[i][v] < 0 {
+					d[i][v] = d[i][u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		for j := range d[i] {
+			if j != i && d[i][j] < 0 {
+				d[i][j] = 1
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,170 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/asi"
+)
+
+// partitionFamilies spans every generator family the parallel path is
+// exercised on: grid/torus, paper fat-tree, dragonfly, and the
+// auto-designed two-layer fat-tree.
+var partitionFamilies = []string{
+	"6x6 torus",
+	"8-port 3-tree",
+	"dragonfly 4x8",
+	"autofat 16x64",
+}
+
+// TestPartitionInvariants checks the structural contract of the
+// partitioner on every family at several region counts: every node lands
+// in exactly one live region, the FM host is co-located with its switch
+// in region 0, the cut-link set is exactly the region-crossing links, and
+// the result is a pure function of its inputs.
+func TestPartitionInvariants(t *testing.T) {
+	for _, name := range partitionFamilies {
+		tp, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		host := tp.Endpoints()[0]
+		for _, regions := range []int{1, 2, 4, 8} {
+			p, err := tp.Partition(regions, host)
+			if err != nil {
+				t.Fatalf("%s R=%d: %v", name, regions, err)
+			}
+			if p.Count < 1 || p.Count > regions {
+				t.Fatalf("%s R=%d: produced %d regions", name, regions, p.Count)
+			}
+			if len(p.Region) != len(tp.Nodes) {
+				t.Fatalf("%s R=%d: region map covers %d of %d nodes", name, regions, len(p.Region), len(tp.Nodes))
+			}
+
+			// Every node is in exactly one region, and every region index
+			// is inhabited by at least one switch.
+			switchesIn := make([]int, p.Count)
+			for _, n := range tp.Nodes {
+				r := p.Region[n.ID]
+				if r < 0 || r >= p.Count {
+					t.Fatalf("%s R=%d: node %d in region %d of %d", name, regions, n.ID, r, p.Count)
+				}
+				if n.Type == asi.DeviceSwitch {
+					switchesIn[r]++
+				}
+			}
+			for r, c := range switchesIn {
+				if c == 0 {
+					t.Fatalf("%s R=%d: region %d holds no switch", name, regions, r)
+				}
+			}
+
+			// The FM host seeds region 0 and rides with its switch, so the
+			// manager never crosses a shard boundary to reach its endpoint.
+			if p.Region[host] != 0 {
+				t.Fatalf("%s R=%d: host endpoint in region %d, want 0", name, regions, p.Region[host])
+			}
+			hostSwitch, _, _ := tp.Peer(host, 0)
+			if p.Region[hostSwitch] != 0 {
+				t.Fatalf("%s R=%d: host switch in region %d, want 0", name, regions, p.Region[hostSwitch])
+			}
+			for _, n := range tp.Nodes {
+				if n.Type != asi.DeviceEndpoint {
+					continue
+				}
+				sw, _, ok := tp.Peer(n.ID, 0)
+				if ok && p.Region[n.ID] != p.Region[sw] {
+					t.Fatalf("%s R=%d: endpoint %d in region %d but its switch %d in %d",
+						name, regions, n.ID, p.Region[n.ID], sw, p.Region[sw])
+				}
+			}
+
+			// CutLinks is exactly the set of links whose ends disagree.
+			want := map[int]bool{}
+			for i, l := range tp.Links {
+				if p.Region[l.A] != p.Region[l.B] {
+					want[i] = true
+				}
+			}
+			if len(want) != len(p.CutLinks) {
+				t.Fatalf("%s R=%d: %d cut links labeled, want %d", name, regions, len(p.CutLinks), len(want))
+			}
+			for _, li := range p.CutLinks {
+				if !want[li] {
+					t.Fatalf("%s R=%d: link %d labeled cut but both ends in region %d",
+						name, regions, li, p.Region[tp.Links[li].A])
+				}
+			}
+			if regions == 1 && len(p.CutLinks) != 0 {
+				t.Fatalf("%s R=1: %d cut links in a single-region partition", name, len(p.CutLinks))
+			}
+
+			// Purity: identical inputs partition identically.
+			p2, err := tp.Partition(regions, host)
+			if err != nil {
+				t.Fatalf("%s R=%d rerun: %v", name, regions, err)
+			}
+			if !reflect.DeepEqual(p, p2) {
+				t.Fatalf("%s R=%d: partition differs across identical calls", name, regions)
+			}
+
+			// Region-distance matrix: square, zero diagonal, positive and
+			// symmetric off-diagonal (cut links are bidirectional).
+			d := p.RegionDistances(tp)
+			if len(d) != p.Count {
+				t.Fatalf("%s R=%d: distance matrix has %d rows for %d regions", name, regions, len(d), p.Count)
+			}
+			for i := range d {
+				if len(d[i]) != p.Count {
+					t.Fatalf("%s R=%d: distance row %d has %d entries", name, regions, i, len(d[i]))
+				}
+				for j := range d[i] {
+					switch {
+					case i == j && d[i][j] != 0:
+						t.Fatalf("%s R=%d: d[%d][%d] = %d, want 0", name, regions, i, j, d[i][j])
+					case i != j && d[i][j] < 1:
+						t.Fatalf("%s R=%d: d[%d][%d] = %d, want >= 1", name, regions, i, j, d[i][j])
+					case d[i][j] != d[j][i]:
+						t.Fatalf("%s R=%d: d[%d][%d] = %d but d[%d][%d] = %d",
+							name, regions, i, j, d[i][j], j, i, d[j][i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionClamp pins the small-fabric behaviour: requesting more
+// regions than switches clamps to the switch count.
+func TestPartitionClamp(t *testing.T) {
+	tp := Mesh(2, 2)
+	p, err := tp.Partition(64, tp.Endpoints()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Count > tp.NumSwitches() {
+		t.Fatalf("%d regions from %d switches", p.Count, tp.NumSwitches())
+	}
+}
+
+// TestPartitionRejectsBadHost pins the host validation: the host must be
+// an endpoint cabled to a switch.
+func TestPartitionRejectsBadHost(t *testing.T) {
+	tp := Mesh(3, 3)
+	if _, err := tp.Partition(2, NodeID(len(tp.Nodes))); err == nil {
+		t.Fatal("out-of-range host accepted")
+	}
+	var sw NodeID = -1
+	for _, n := range tp.Nodes {
+		if n.Type == asi.DeviceSwitch {
+			sw = n.ID
+			break
+		}
+	}
+	if _, err := tp.Partition(2, sw); err == nil {
+		t.Fatal("switch host accepted")
+	}
+	if _, err := tp.Partition(0, tp.Endpoints()[0]); err == nil {
+		t.Fatal("zero regions accepted")
+	}
+}
