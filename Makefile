@@ -6,8 +6,9 @@
 #                   JSON run-report schema smoke, span pipeline smoke,
 #                   spans-disabled zero-alloc regression, chaos smoke,
 #                   parallel-sweep determinism smoke, region-sharded
-#                   parallel-path identity smoke, benchmark regression
-#                   diff against the committed BENCH_sim.json
+#                   parallel-path identity smoke, FM-daemon serving-layer
+#                   smoke (1000-subscriber replay identity), benchmark
+#                   regression diff against the committed BENCH_sim.json
 #   make race     - go test -race ./...
 #   make fuzz     - bounded native-fuzzing burst on the chaos harness
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
@@ -23,7 +24,7 @@ BENCHTIME ?= 3x
 BENCHCOUNT ?= 5
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke bench-diff fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke fuzz
+.PHONY: all build vet test race verify bench bench-smoke bench-diff fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke fuzz
 
 all: build vet test
 
@@ -99,6 +100,14 @@ fuzz:
 par-smoke:
 	$(GO) test -run 'TestParallelRegions' ./internal/chaos/
 
+# daemon-smoke proves the FM daemon's serving layer end to end: asifmd
+# manages a fat-tree under scripted churn while 1000 in-process plus 8
+# HTTP subscribers replay the diff stream; every reconstructed snapshot
+# must be byte-identical to the live RIB and fingerprint-identical to
+# core.DB.Fingerprint.
+daemon-smoke:
+	$(GO) run ./cmd/asifmd -smoke 1000
+
 # bench-diff re-runs the benchmark suite and gates it against the
 # committed BENCH_sim.json: an allocs/op increase beyond max(2, 0.1%)
 # rounding/GC slack fails; ns/op may regress at most 10% plus the noise
@@ -109,7 +118,7 @@ bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \
 		| $(GO) run ./cmd/benchjson -diff BENCH_sim.json
 
-verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke bench-diff
+verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke bench-diff
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \

@@ -104,7 +104,7 @@ func BenchmarkFig6DiscoveryTime(b *testing.B) {
 			var secs float64
 			var pkts float64
 			for i := 0; i < b.N; i++ {
-				o := experiment.Run(experiment.RunSpec{
+				o := experiment.RunConfig(experiment.Config{
 					Topology: "6x6 mesh", Algorithm: kind,
 					Seed: uint64(i%4 + 1), Change: experiment.RemoveSwitch,
 				})
@@ -193,7 +193,7 @@ func BenchmarkFig9FactorCombos(b *testing.B) {
 				experiment.TakeProcessedEvents()
 				var secs float64
 				for i := 0; i < b.N; i++ {
-					o := experiment.Run(experiment.RunSpec{
+					o := experiment.RunConfig(experiment.Config{
 						Topology: "6x6 torus", Algorithm: kind,
 						Seed: 1, Change: experiment.RemoveSwitch,
 						FMFactor: c.fmF, DeviceFactor: c.devF,
@@ -217,7 +217,7 @@ func BenchmarkExtensions(b *testing.B) {
 	b.Run("partial-remove", func(b *testing.B) {
 		var pkts float64
 		for i := 0; i < b.N; i++ {
-			o := experiment.Run(experiment.RunSpec{
+			o := experiment.RunConfig(experiment.Config{
 				Topology: "6x6 mesh", Algorithm: core.Partial,
 				Seed: 1, Change: experiment.RemoveSwitch,
 			})

@@ -22,6 +22,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/experiment"
 )
 
@@ -30,16 +31,22 @@ import (
 var benchEvents = expvar.NewInt("asibench.events")
 
 func main() {
+	var common cli.Common
 	exp := flag.String("exp", "all", "experiment id to run (see -list), or 'all'")
 	seeds := flag.Int("seeds", 4, "repetitions of each change scenario")
-	workers := flag.Int("workers", 0, "simulation worker pool size (0 = GOMAXPROCS)")
-	regions := flag.Int("regions", 0, "region-sharded parallel simulation regions for experiments that support it (0/1 = sequential)")
+	common.RegisterWorkers(flag.CommandLine)
+	common.RegisterRegions(flag.CommandLine)
+	common.RegisterJSON(flag.CommandLine)
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
-	jsonOut := flag.Bool("json", false, "emit one machine-readable run-report envelope on stdout")
 	outDir := flag.String("o", "", "also write one .txt (and .csv) file per report into this directory")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	debugAddr := flag.String("debug", "", "serve net/http/pprof and expvar on this address while running (e.g. :6060)")
 	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	jsonOut := &common.JSON
 
 	if *list {
 		for _, r := range experiment.Runners() {
@@ -63,7 +70,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/pprof and /debug/vars\n", *debugAddr)
 	}
 
-	opts := experiment.Opts{Seeds: *seeds, Workers: *workers, Regions: *regions}
+	opts := experiment.Opts{Seeds: *seeds, Workers: common.Workers, Regions: common.Regions}
 	var runners []experiment.Runner
 	if *exp == "all" {
 		for _, r := range experiment.Runners() {

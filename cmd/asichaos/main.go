@@ -24,10 +24,12 @@ import (
 	"strings"
 
 	"repro/internal/chaos"
+	"repro/internal/cli"
 	"repro/internal/span"
 )
 
 func main() {
+	var common cli.Common
 	seed := flag.Uint64("seed", 1, "base seed; run i uses seed+i")
 	runs := flag.Int("runs", 1, "number of generated scenarios to execute")
 	profile := flag.String("profile", "quick", "generation profile: "+strings.Join(chaos.ProfileNames(), ", "))
@@ -35,8 +37,8 @@ func main() {
 	replay := flag.String("replay", "", "replay a scenario JSON file instead of generating")
 	shrink := flag.Bool("shrink", true, "greedily shrink failing scenarios before reporting")
 	spans := flag.Bool("spans", false, "trace causal spans and print the span report (replay mode)")
-	workers := flag.Int("workers", 0, "concurrent sweep executions (0 = GOMAXPROCS); output is identical at any setting")
-	regions := flag.Int("regions", 0, "region-sharded parallel simulation regions per run; scenarios with events or faults fall back to sequential")
+	common.RegisterWorkers(flag.CommandLine)
+	common.RegisterRegions(flag.CommandLine)
 	verbose := flag.Bool("v", false, "print a line per scenario")
 	emitCorpus := flag.String("emit-corpus", "", "write the built-in corpus scenarios into a directory and exit")
 	flag.Parse()
@@ -45,6 +47,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(code)
 	}
+	if err := common.Validate(); err != nil {
+		fail(2, err)
+	}
+	workers, regions := &common.Workers, &common.Regions
 
 	if *emitCorpus != "" {
 		if err := emit(*emitCorpus); err != nil {

@@ -1,0 +1,423 @@
+// Command asifmd is the long-running fabric-manager daemon: it owns one
+// simulated ASI fabric, keeps the discovery engine converged under
+// continuous churn, installs every completed discovery into a versioned
+// topology RIB, derives a FIB per generation, and streams JSON diffs to
+// HTTP subscribers over gNMI-style paths.
+//
+// Usage:
+//
+//	asifmd                                   # defaults: 8-port 3-tree, :8080
+//	asifmd -config daemon.json               # full config file
+//	asifmd -topo "8x8 mesh" -listen :9000    # flag overrides
+//	asifmd -rounds 100 -interval 250ms       # bounded churn, 4 rounds/s
+//	asifmd -smoke 1000 -rounds 6             # verification mode (see below)
+//
+// Subscribe with any HTTP client:
+//
+//	curl -N 'http://localhost:8080/subscribe?path=/fib/routes'
+//
+// Smoke mode (-smoke N) runs the configured churn rounds while N
+// in-process subscribers plus a set of real HTTP subscribers replay the
+// diff stream concurrently, then verifies every reconstruction is
+// byte-identical to the live snapshot and fingerprint-identical to the
+// FM's database. It exits non-zero on any mismatch — `make daemon-smoke`
+// is this mode.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/fabric"
+	"repro/internal/rib"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func main() {
+	var common cli.Common
+	common.RegisterConfig(flag.CommandLine)
+	common.RegisterJSON(flag.CommandLine)
+	topoName := flag.String("topo", "", "override the config topology")
+	alg := flag.String("alg", "", "override the config algorithm ("+
+		"serial-packet, serial-device, parallel, partial; aliases sp, sd, p)")
+	seed := flag.Uint64("seed", 0, "override the config seed")
+	listen := flag.String("listen", "", "override the config listen address")
+	rounds := flag.Int("rounds", 0, "override the config churn-round bound (0 = config value)")
+	churnOps := flag.Int("churn-ops", -1, "override the config toggles per churn round")
+	interval := flag.Duration("interval", time.Second, "wall-clock pause between churn rounds (serve mode)")
+	smoke := flag.Int("smoke", 0, "smoke mode: N concurrent in-process subscribers, verify replay, exit")
+	flag.Parse()
+	if err := common.Validate(); err != nil {
+		fatal(2, err)
+	}
+
+	cfg, err := common.LoadDaemonConfig()
+	if err != nil {
+		fatal(2, err)
+	}
+	if *topoName != "" {
+		cfg.Topology = *topoName
+	}
+	if *alg != "" {
+		k, err := cli.Algorithm(*alg)
+		if err != nil {
+			fatal(2, err)
+		}
+		cfg.Algorithm = k.Slug()
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "seed":
+			cfg.Seed = *seed
+		case "listen":
+			cfg.Listen = *listen
+		case "rounds":
+			cfg.Rounds = *rounds
+		case "churn-ops":
+			cfg.ChurnOps = *churnOps
+		}
+	})
+	if err := cfg.Validate(); err != nil {
+		fatal(2, err)
+	}
+
+	d, err := newDaemon(cfg)
+	if err != nil {
+		fatal(1, err)
+	}
+	if err := d.bootstrap(); err != nil {
+		fatal(1, err)
+	}
+
+	if *smoke > 0 {
+		if err := d.runSmoke(*smoke, common.JSON); err != nil {
+			fatal(1, err)
+		}
+		return
+	}
+	d.serve(*interval)
+}
+
+func fatal(code int, err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(code)
+}
+
+// daemon owns the simulated fabric, its manager, and the serving layer.
+// All simulation work happens on the goroutine calling its methods; the
+// RIB decouples every reader from that hot path.
+type daemon struct {
+	cfg experiment.DaemonConfig
+	e   *sim.Engine
+	f   *fabric.Fabric
+	m   *core.Manager
+	rib *rib.RIB
+	ch  *chaos.Churner
+
+	installs int
+	rounds   int
+}
+
+func newDaemon(cfg experiment.DaemonConfig) (*daemon, error) {
+	tp, err := topo.ByName(cfg.Topology)
+	if err != nil {
+		return nil, err
+	}
+	d := &daemon{
+		cfg: cfg,
+		e:   sim.NewEngine(),
+		rib: rib.New(rib.Config{QueueDepth: cfg.QueueDepth}),
+	}
+	rng := sim.NewRNG(cfg.Seed*2654435761 + 1)
+	d.f, err = fabric.New(d.e, tp, fabric.Config{}, rng)
+	if err != nil {
+		return nil, err
+	}
+	ep := d.f.Device(tp.Endpoints()[0])
+	d.m = core.NewManager(d.f, ep, core.Options{Algorithm: cfg.Kind()})
+	d.m.OnDiscoveryComplete = func(core.Result) {
+		// The install is the cold-path bridge from simulation to serving:
+		// clone the FM database, stamp a generation, fan out diffs.
+		d.rib.Install(d.m.DB())
+		d.installs++
+	}
+	if cfg.ChurnOps > 0 {
+		d.ch, err = chaos.NewChurner(tp, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// bootstrap runs the transient period: initial discovery plus
+// event-route distribution, producing RIB generation 1.
+func (d *daemon) bootstrap() error {
+	d.m.StartDiscovery()
+	d.e.Run()
+	if d.installs == 0 {
+		return fmt.Errorf("asifmd: initial discovery on %q completed no run", d.cfg.Topology)
+	}
+	var distErr error
+	d.m.DistributeEventRoutes(func(r core.DistResult) {
+		if r.Failures > 0 {
+			distErr = fmt.Errorf("asifmd: %d event-route distribution failures", r.Failures)
+		}
+	})
+	d.e.Run()
+	return distErr
+}
+
+// round applies one churn round and drains the simulation back to
+// quiescence; PI-5 driven assimilation installs along the way.
+func (d *daemon) round() {
+	d.rounds++
+	base := d.e.Now()
+	for _, ev := range d.ch.Round(d.cfg.ChurnOps) {
+		ev := ev
+		d.e.At(base.Add(sim.Micros(ev.AtUS)), func(*sim.Engine) {
+			if ev.Op == chaos.OpDown {
+				d.f.SetDeviceDown(topo.NodeID(ev.Node), false)
+			} else {
+				d.f.SetDeviceUp(topo.NodeID(ev.Node), false)
+			}
+		})
+	}
+	d.e.Run()
+	if n := d.cfg.AuditEvery; n > 0 && d.rounds%n == 0 {
+		d.audit()
+	}
+}
+
+// audit forces a full rediscovery (one more generation, even when the
+// topology is unchanged).
+func (d *daemon) audit() {
+	d.m.StartDiscovery()
+	d.e.Run()
+}
+
+// quiesce restores every churned-down switch and audits, making the
+// served state the full topology again.
+func (d *daemon) quiesce() {
+	if d.ch == nil {
+		return
+	}
+	base := d.e.Now()
+	for _, ev := range d.ch.Quiesce() {
+		ev := ev
+		d.e.At(base.Add(sim.Micros(ev.AtUS)), func(*sim.Engine) {
+			d.f.SetDeviceUp(topo.NodeID(ev.Node), false)
+		})
+	}
+	d.e.Run()
+	d.audit()
+}
+
+// serve streams forever (or for cfg.Rounds rounds): HTTP on cfg.Listen,
+// churn rounds paced by interval on this goroutine.
+func (d *daemon) serve(interval time.Duration) {
+	ln, err := net.Listen("tcp", d.cfg.Listen)
+	if err != nil {
+		fatal(1, err)
+	}
+	go http.Serve(ln, rib.NewServer(d.rib).Handler())
+	fmt.Fprintf(os.Stderr, "asifmd: managing %q (%s), serving on http://%s\n",
+		d.cfg.Topology, d.cfg.Kind(), ln.Addr())
+
+	for d.ch != nil && (d.cfg.Rounds == 0 || d.rounds < d.cfg.Rounds) {
+		time.Sleep(interval)
+		d.round()
+		s := d.rib.Stats()
+		fmt.Fprintf(os.Stderr, "asifmd: round %d gen %d leaves %d subscribers %d down %d\n",
+			d.rounds, s.Gen, s.Leaves, s.Subscribers, d.ch.Down())
+	}
+	if d.ch == nil {
+		fmt.Fprintln(os.Stderr, "asifmd: churn disabled; serving the initial discovery")
+	} else {
+		d.quiesce()
+		fmt.Fprintf(os.Stderr, "asifmd: %d rounds done, fabric quiesced at gen %d; still serving\n",
+			d.rounds, d.rib.Current().Gen)
+	}
+	select {} // serve until the process is stopped
+}
+
+// smokeResult is one subscriber's verdict.
+type smokeResult struct {
+	id  int
+	err error
+}
+
+// runSmoke drives the configured churn while subscribers replay
+// concurrently, then verifies every reconstruction.
+func (d *daemon) runSmoke(subscribers int, jsonOut bool) error {
+	rounds := d.cfg.Rounds
+	if rounds == 0 {
+		rounds = 6
+	}
+
+	// targetGen, once non-zero, is the generation at which a subscriber
+	// stops reading; expected* are set before targetGen's batch is
+	// published, so a subscriber that reached the target can compare.
+	var (
+		targetGen    atomic.Uint64
+		expectedOnce sync.Once
+		expectedWait = make(chan struct{})
+		expectedCan  []byte
+		expectedFP   uint64
+	)
+	verify := func(id int, rep *rib.Replayer) smokeResult {
+		<-expectedWait
+		if got := rep.Canonical("/"); string(got) != string(expectedCan) {
+			return smokeResult{id, fmt.Errorf("subscriber %d: replayed state not byte-identical at gen %d", id, rep.Gen())}
+		}
+		fp, err := rep.Fingerprint()
+		if err != nil {
+			return smokeResult{id, fmt.Errorf("subscriber %d: %w", id, err)}
+		}
+		if fp != expectedFP {
+			return smokeResult{id, fmt.Errorf("subscriber %d: fingerprint %#x, live DB %#x", id, fp, expectedFP)}
+		}
+		return smokeResult{id, nil}
+	}
+
+	results := make(chan smokeResult, subscribers+16)
+	var wg sync.WaitGroup
+
+	// In-process subscribers: the ISSUE's >= 1000 concurrent readers.
+	for i := 0; i < subscribers; i++ {
+		sub := d.rib.Subscribe("/")
+		wg.Add(1)
+		go func(id int, sub *rib.Subscription) {
+			defer wg.Done()
+			defer sub.Close()
+			rep := rib.NewReplayer()
+			for {
+				b, ok := <-sub.Updates()
+				if !ok {
+					results <- smokeResult{id, fmt.Errorf("subscriber %d: stream closed early", id)}
+					return
+				}
+				if err := rep.Apply(b); err != nil {
+					results <- smokeResult{id, fmt.Errorf("subscriber %d: %w", id, err)}
+					return
+				}
+				if t := targetGen.Load(); t > 0 && rep.Gen() >= t {
+					break
+				}
+			}
+			results <- verify(id, rep)
+		}(i, sub)
+	}
+
+	// Real HTTP subscribers exercise the wire path end to end.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer ln.Close()
+	go http.Serve(ln, rib.NewServer(d.rib).Handler())
+	const httpSubs = 8
+	for i := 0; i < httpSubs; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			resp, err := http.Get(fmt.Sprintf("http://%s/subscribe?path=/", ln.Addr()))
+			if err != nil {
+				results <- smokeResult{id, err}
+				return
+			}
+			defer resp.Body.Close()
+			sc := bufio.NewScanner(resp.Body)
+			sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+			rep := rib.NewReplayer()
+			for sc.Scan() {
+				var b rib.Batch
+				if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+					results <- smokeResult{id, fmt.Errorf("http subscriber %d: %w", id, err)}
+					return
+				}
+				if err := rep.Apply(b); err != nil {
+					results <- smokeResult{id, fmt.Errorf("http subscriber %d: %w", id, err)}
+					return
+				}
+				if t := targetGen.Load(); t > 0 && rep.Gen() >= t {
+					results <- verify(id, rep)
+					return
+				}
+			}
+			results <- smokeResult{id, fmt.Errorf("http subscriber %d: stream ended early: %v", id, sc.Err())}
+		}(subscribers + i)
+	}
+
+	// Continuous churn on this goroutine while subscribers stream.
+	for i := 0; i < rounds && d.ch != nil; i++ {
+		d.round()
+	}
+	d.quiesce()
+
+	// Publish the finish line, then one final audit so every subscriber
+	// receives a batch at or past the target and can stop reading. The
+	// audit rediscovers the identical fabric, so only the generation
+	// number moves — expected values are computed for that final gen.
+	finalGen := d.rib.Current().Gen + 1
+	targetGen.Store(finalGen)
+	d.audit()
+	expectedOnce.Do(func() {
+		cur := d.rib.Current()
+		if cur.Gen != finalGen {
+			// The audit installed more than once; re-target to reality.
+			targetGen.Store(cur.Gen)
+		}
+		expectedCan = d.rib.Current().Canonical("/")
+		expectedFP = d.m.DB().Fingerprint()
+		close(expectedWait)
+	})
+
+	wg.Wait()
+	close(results)
+	failures := 0
+	for r := range results {
+		if r.err != nil {
+			failures++
+			if failures <= 10 {
+				fmt.Fprintln(os.Stderr, r.err)
+			}
+		}
+	}
+	s := d.rib.Stats()
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"topology":    d.cfg.Topology,
+			"algorithm":   d.cfg.Kind().Slug(),
+			"rounds":      d.rounds,
+			"generations": s.Gen,
+			"installs":    s.Installs,
+			"subscribers": subscribers + httpSubs,
+			"resyncs":     s.Resyncs,
+			"fingerprint": s.Fingerprint,
+			"failures":    failures,
+		})
+	} else {
+		fmt.Printf("asifmd smoke: %q %s: %d rounds, %d generations, %d+%d subscribers, %d resyncs, fingerprint %s: %d failures\n",
+			d.cfg.Topology, d.cfg.Kind().Slug(), d.rounds, s.Gen, subscribers, httpSubs, s.Resyncs, s.Fingerprint, failures)
+	}
+	if failures > 0 {
+		return fmt.Errorf("asifmd: %d of %d subscribers failed verification", failures, subscribers+httpSubs)
+	}
+	return nil
+}

@@ -39,6 +39,13 @@ type Options struct {
 	// scripted events, fault plans, telemetry, spans — silently fall back
 	// to the sequential path; Report.Regions records what actually ran.
 	Regions int
+	// OnDiscovery, when non-nil, observes every completed discovery run
+	// with the manager's live database — the hook a RIB installer uses
+	// to turn scripted churn into a continuous stream of generations
+	// instead of one run per change. Pure observation: the callback
+	// must not mutate the database, and it runs outside simulated time,
+	// so scenario fingerprints are unaffected.
+	OnDiscovery func(db *core.DB, r core.Result)
 }
 
 // DefaultHorizon is far beyond any legitimate phase: the worst Table 1
@@ -215,7 +222,12 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 	if opt.SkipPI5 > 0 {
 		ep.SetHandler(&pi5Filter{inner: m, skip: opt.SkipPI5})
 	}
-	m.OnDiscoveryComplete = func(r core.Result) { rep.Results = append(rep.Results, r) }
+	m.OnDiscoveryComplete = func(r core.Result) {
+		rep.Results = append(rep.Results, r)
+		if opt.OnDiscovery != nil {
+			opt.OnDiscovery(m.DB(), r)
+		}
+	}
 
 	runPhase := func(name string) bool {
 		if group != nil {

@@ -120,6 +120,30 @@ func (db *DB) Links() []Link {
 	return out
 }
 
+// Clone deep-copies the database: node entries (including their paths
+// and per-port attribute slices) and the link set share nothing with the
+// original. The serving layer uses it to freeze a discovery result into
+// an immutable RIB snapshot while the manager keeps mutating its live
+// database (partial assimilation edits entries in place).
+func (db *DB) Clone() *DB {
+	out := &DB{
+		HostDSN: db.HostDSN,
+		nodes:   make(map[asi.DSN]*Node, len(db.nodes)),
+		links:   make(map[Link]bool, len(db.links)),
+	}
+	for dsn, n := range db.nodes {
+		c := *n
+		c.Path = append(route.Path(nil), n.Path...)
+		c.PortKnown = append([]bool(nil), n.PortKnown...)
+		c.PortActive = append([]bool(nil), n.PortActive...)
+		out.nodes[dsn] = &c
+	}
+	for l := range db.links {
+		out.links[l] = true
+	}
+	return out
+}
+
 // Fingerprint hashes the database's topology content — the node set
 // (DSN, type, port count) and the canonical link set — into one FNV-1a
 // value. Two databases fingerprint equally iff they describe the same

@@ -31,7 +31,9 @@ type DistResult struct {
 // PI-5 packets toward the FM, from the FM's own path to that device. For
 // switches the route is prefixed with the switch's own traversal from the
 // virtual ingress, matching the hardware convention in internal/fabric.
-func (m *Manager) EventRouteFor(n *Node) (pool uint64, ptr uint8, err error) {
+// It is a free function so the serving layer (internal/fib) can derive
+// event-route tables from a database snapshot without a Manager.
+func EventRouteFor(n *Node) (pool uint64, ptr uint8, err error) {
 	rev := route.Reverse(n.Path)
 	if n.Type == asi.DeviceSwitch {
 		// The switch consumes its own first turn when originating; the
@@ -42,6 +44,11 @@ func (m *Manager) EventRouteFor(n *Node) (pool uint64, ptr uint8, err error) {
 		rev = append(route.Path{first}, rev...)
 	}
 	return route.Encode(rev)
+}
+
+// EventRouteFor is the method form of the package-level EventRouteFor.
+func (m *Manager) EventRouteFor(n *Node) (pool uint64, ptr uint8, err error) {
+	return EventRouteFor(n)
 }
 
 // DistributeEventRoutes writes the event route into every discovered

@@ -57,25 +57,6 @@ func TestNewConfigValidates(t *testing.T) {
 	}
 }
 
-func TestRunSpecConfigRoundTrip(t *testing.T) {
-	spec := RunSpec{
-		Topology: "3x3 mesh", Algorithm: core.SerialDevice,
-		FMFactor: 2, DeviceFactor: 0.2, Seed: 5, Change: AddSwitch,
-		LossRate: 0.001, MaxRetries: 2, RetryBackoff: sim.Microsecond,
-	}
-	cfg := spec.Config()
-	if cfg.Topology != spec.Topology || cfg.Algorithm != spec.Algorithm ||
-		cfg.FMFactor != spec.FMFactor || cfg.DeviceFactor != spec.DeviceFactor ||
-		cfg.Seed != spec.Seed || cfg.Change != spec.Change ||
-		cfg.LossRate != spec.LossRate || cfg.MaxRetries != spec.MaxRetries ||
-		cfg.RetryBackoff != spec.RetryBackoff {
-		t.Errorf("shim lost fields: %+v from %+v", cfg, spec)
-	}
-	if cfg.Telemetry {
-		t.Error("legacy specs must not enable telemetry")
-	}
-}
-
 // RunConfig with telemetry attaches a snapshot carrying the FM, fabric
 // and engine metric families end to end.
 func TestRunConfigTelemetrySnapshot(t *testing.T) {

@@ -1,0 +1,131 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topo"
+)
+
+// DaemonConfig describes one long-running fabric-manager daemon
+// (cmd/asifmd): the fabric it manages, the discovery algorithm it runs,
+// and the churn and serving knobs of its steady state. It is the
+// daemon-mode analogue of Config — but where Config describes one finite
+// measured run, DaemonConfig describes an open-ended process, so it is
+// plain JSON data (loadable from a -config file) rather than functional
+// options.
+type DaemonConfig struct {
+	// Topology names the managed fabric (catalogue or parametric name).
+	Topology string `json:"topology"`
+	// Algorithm is a core.Kind slug; empty selects "parallel".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Seed drives every random stream: fabric build, churn schedule.
+	Seed uint64 `json:"seed,omitempty"`
+	// ChurnOps is the number of switch up/down toggles per churn round;
+	// 0 disables churn (the daemon only serves the initial discovery).
+	ChurnOps int `json:"churn_ops,omitempty"`
+	// Rounds bounds the daemon's churn rounds; 0 means run until the
+	// process is stopped.
+	Rounds int `json:"rounds,omitempty"`
+	// AuditEvery forces a full rediscovery after every N rounds (0
+	// disables forced audits; change assimilation still runs on PI-5).
+	AuditEvery int `json:"audit_every,omitempty"`
+	// QueueDepth bounds each subscriber's batch queue; 0 selects the
+	// serving layer's default.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// Listen is the HTTP serving address; empty selects ":8080".
+	Listen string `json:"listen,omitempty"`
+}
+
+// DefaultDaemonConfig returns the documented defaults.
+func DefaultDaemonConfig() DaemonConfig {
+	return DaemonConfig{
+		Topology:   "8-port 3-tree",
+		Algorithm:  core.Parallel.Slug(),
+		Seed:       1,
+		ChurnOps:   4,
+		AuditEvery: 8,
+		Listen:     ":8080",
+	}
+}
+
+// kindSlugs names every accepted algorithm slug, for error messages.
+func kindSlugs() string {
+	var slugs []string
+	for _, k := range core.AllKinds() {
+		if k == core.Distributed {
+			continue // needs a multi-FM team; not a daemon algorithm
+		}
+		slugs = append(slugs, k.Slug())
+	}
+	return strings.Join(slugs, ", ")
+}
+
+// Validate checks the config and resolves nothing: call Kind and
+// topo.ByName afterwards. Errors name the valid values.
+func (dc DaemonConfig) Validate() error {
+	if dc.Topology == "" {
+		return fmt.Errorf("experiment: daemon config has no topology (catalogue: %s; or parametric like %q)",
+			strings.Join(topo.Names(), ", "), "8x8 mesh")
+	}
+	if _, err := topo.ByName(dc.Topology); err != nil {
+		return fmt.Errorf("experiment: daemon config: %w", err)
+	}
+	if dc.Algorithm != "" {
+		k, ok := core.KindBySlug(dc.Algorithm)
+		if !ok || k == core.Distributed {
+			return fmt.Errorf("experiment: daemon config algorithm %q (valid: %s)", dc.Algorithm, kindSlugs())
+		}
+	}
+	if dc.ChurnOps < 0 {
+		return fmt.Errorf("experiment: daemon config churn_ops %d is negative", dc.ChurnOps)
+	}
+	if dc.Rounds < 0 {
+		return fmt.Errorf("experiment: daemon config rounds %d is negative", dc.Rounds)
+	}
+	if dc.AuditEvery < 0 {
+		return fmt.Errorf("experiment: daemon config audit_every %d is negative", dc.AuditEvery)
+	}
+	if dc.QueueDepth < 0 {
+		return fmt.Errorf("experiment: daemon config queue_depth %d is negative", dc.QueueDepth)
+	}
+	return nil
+}
+
+// Kind resolves the algorithm slug (default parallel). Call after
+// Validate.
+func (dc DaemonConfig) Kind() core.Kind {
+	if dc.Algorithm == "" {
+		return core.Parallel
+	}
+	k, _ := core.KindBySlug(dc.Algorithm)
+	return k
+}
+
+// DecodeDaemonConfig parses a daemon config, rejecting unknown fields so
+// config files cannot silently rot, and validates it.
+func DecodeDaemonConfig(r io.Reader) (DaemonConfig, error) {
+	dc := DefaultDaemonConfig()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dc); err != nil {
+		return DaemonConfig{}, fmt.Errorf("experiment: decoding daemon config: %w", err)
+	}
+	if err := dc.Validate(); err != nil {
+		return DaemonConfig{}, err
+	}
+	return dc, nil
+}
+
+// EncodeJSON renders the config as indented JSON with a trailing
+// newline.
+func (dc DaemonConfig) EncodeJSON() []byte {
+	b, err := json.MarshalIndent(dc, "", "  ")
+	if err != nil {
+		panic(err) // plain-data struct; cannot fail
+	}
+	return append(b, '\n')
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDaemonConfigDefaultsValid(t *testing.T) {
+	dc := DefaultDaemonConfig()
+	if err := dc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if dc.Kind() != core.Parallel {
+		t.Errorf("default algorithm %v", dc.Kind())
+	}
+}
+
+func TestDaemonConfigRoundTrip(t *testing.T) {
+	dc := DaemonConfig{
+		Topology: "4x4 mesh", Algorithm: "serial-device", Seed: 7,
+		ChurnOps: 2, Rounds: 5, AuditEvery: 3, QueueDepth: 16, Listen: ":9000",
+	}
+	back, err := DecodeDaemonConfig(bytes.NewReader(dc.EncodeJSON()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != dc {
+		t.Errorf("round trip drifted: %+v from %+v", back, dc)
+	}
+	if back.Kind() != core.SerialDevice {
+		t.Errorf("algorithm resolved to %v", back.Kind())
+	}
+}
+
+// A partial document inherits the documented defaults.
+func TestDecodeDaemonConfigAppliesDefaults(t *testing.T) {
+	dc, err := DecodeDaemonConfig(strings.NewReader(`{"topology": "3x3 mesh"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := DefaultDaemonConfig()
+	if dc.Algorithm != def.Algorithm || dc.ChurnOps != def.ChurnOps || dc.Listen != def.Listen {
+		t.Errorf("defaults not applied: %+v", dc)
+	}
+}
+
+func TestDaemonConfigValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*DaemonConfig)
+		frag string
+	}{
+		{"no topology", func(c *DaemonConfig) { c.Topology = "" }, "catalogue"},
+		{"bad topology", func(c *DaemonConfig) { c.Topology = "17x17 blob" }, "unknown topology"},
+		{"bad algorithm", func(c *DaemonConfig) { c.Algorithm = "magic" }, "valid: serial-packet"},
+		{"distributed", func(c *DaemonConfig) { c.Algorithm = "distributed" }, "valid:"},
+		{"churn ops", func(c *DaemonConfig) { c.ChurnOps = -1 }, "churn_ops"},
+		{"rounds", func(c *DaemonConfig) { c.Rounds = -1 }, "rounds"},
+		{"audit", func(c *DaemonConfig) { c.AuditEvery = -2 }, "audit_every"},
+		{"queue", func(c *DaemonConfig) { c.QueueDepth = -3 }, "queue_depth"},
+	}
+	for _, tc := range cases {
+		dc := DefaultDaemonConfig()
+		tc.mut(&dc)
+		err := dc.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.frag)
+		}
+	}
+	if _, err := DecodeDaemonConfig(strings.NewReader(`{"topology":"3x3 mesh","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}

@@ -13,7 +13,7 @@ import (
 func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
 
 func TestRunNoChangeMeasuresInitialDiscovery(t *testing.T) {
-	o := Run(RunSpec{Topology: "3x3 mesh", Algorithm: core.Parallel, Seed: 1, Change: NoChange})
+	o := RunConfig(Config{Topology: "3x3 mesh", Algorithm: core.Parallel, Seed: 1, Change: NoChange})
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -30,7 +30,7 @@ func TestRunNoChangeMeasuresInitialDiscovery(t *testing.T) {
 
 func TestRunRemoveSwitchMeasuresAssimilation(t *testing.T) {
 	for _, k := range core.PaperKinds() {
-		o := Run(RunSpec{Topology: "4x4 mesh", Algorithm: k, Seed: 3, Change: RemoveSwitch})
+		o := RunConfig(Config{Topology: "4x4 mesh", Algorithm: k, Seed: 3, Change: RemoveSwitch})
 		if o.Err != nil {
 			t.Fatalf("%v: %v", k, o.Err)
 		}
@@ -47,7 +47,7 @@ func TestRunRemoveSwitchMeasuresAssimilation(t *testing.T) {
 }
 
 func TestRunAddSwitchRestoresFullTopology(t *testing.T) {
-	o := Run(RunSpec{Topology: "4x4 torus", Algorithm: core.SerialDevice, Seed: 2, Change: AddSwitch})
+	o := RunConfig(Config{Topology: "4x4 torus", Algorithm: core.SerialDevice, Seed: 2, Change: AddSwitch})
 	if o.Err != nil {
 		t.Fatal(o.Err)
 	}
@@ -60,8 +60,8 @@ func TestRunAddSwitchRestoresFullTopology(t *testing.T) {
 }
 
 func TestRunSameSeedSameChangeTarget(t *testing.T) {
-	a := Run(RunSpec{Topology: "6x6 mesh", Algorithm: core.SerialPacket, Seed: 5, Change: RemoveSwitch})
-	b := Run(RunSpec{Topology: "6x6 mesh", Algorithm: core.Parallel, Seed: 5, Change: RemoveSwitch})
+	a := RunConfig(Config{Topology: "6x6 mesh", Algorithm: core.SerialPacket, Seed: 5, Change: RemoveSwitch})
+	b := RunConfig(Config{Topology: "6x6 mesh", Algorithm: core.Parallel, Seed: 5, Change: RemoveSwitch})
 	if a.Err != nil || b.Err != nil {
 		t.Fatal(a.Err, b.Err)
 	}
@@ -71,18 +71,18 @@ func TestRunSameSeedSameChangeTarget(t *testing.T) {
 }
 
 func TestRunUnknownTopology(t *testing.T) {
-	if o := Run(RunSpec{Topology: "nope"}); o.Err == nil {
+	if o := RunConfig(Config{Topology: "nope"}); o.Err == nil {
 		t.Error("unknown topology accepted")
 	}
 }
 
-func TestRunAllPreservesOrder(t *testing.T) {
-	specs := []RunSpec{
+func TestRunConfigAllPreservesOrder(t *testing.T) {
+	cfgs := []Config{
 		{Topology: "3x3 mesh", Algorithm: core.Parallel, Seed: 1, Change: NoChange},
 		{Topology: "3x3 torus", Algorithm: core.SerialPacket, Seed: 2, Change: NoChange},
 		{Topology: "4-port 2-tree", Algorithm: core.SerialDevice, Seed: 3, Change: NoChange},
 	}
-	outs := RunAll(specs, 2)
+	outs := RunConfigAll(cfgs, 2)
 	if len(outs) != 3 {
 		t.Fatalf("got %d outcomes", len(outs))
 	}
@@ -90,7 +90,7 @@ func TestRunAllPreservesOrder(t *testing.T) {
 		if o.Err != nil {
 			t.Fatalf("run %d: %v", i, o.Err)
 		}
-		if o.Config.Topology != specs[i].Topology {
+		if o.Config.Topology != cfgs[i].Topology {
 			t.Errorf("order broken at %d: %s", i, o.Config.Topology)
 		}
 	}

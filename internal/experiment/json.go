@@ -11,12 +11,30 @@ import (
 )
 
 // RunReportSchema identifies the JSON envelope version emitted by the
-// CLIs. v2 adds the optional spans section; v1 documents (which predate
-// it) still decode. Consumers should reject any other schema string.
+// CLIs. v2 added the optional spans section, v3 the optional regions
+// section; older documents (which predate those sections) still decode.
+// Consumers should reject any other schema string.
 const (
-	RunReportSchema   = "asi-discovery/run-report/v2"
+	RunReportSchema   = "asi-discovery/run-report/v3"
+	RunReportSchemaV2 = "asi-discovery/run-report/v2"
 	RunReportSchemaV1 = "asi-discovery/run-report/v1"
 )
+
+// RegionsReport is the v3 envelope's parallel-simulation section: how
+// the conservative region-sharded run actually executed. Regions == 1
+// means the sequential path (the section is usually omitted then).
+type RegionsReport struct {
+	// Regions is the region count the run used after clamping.
+	Regions int `json:"regions"`
+	// RegionEvents is the per-region processed-event split.
+	RegionEvents []uint64 `json:"region_events,omitempty"`
+	// SyncRounds counts conservative barrier rounds; LookaheadStalls the
+	// region-rounds with work held back by the link-latency lookahead.
+	SyncRounds      uint64 `json:"sync_rounds,omitempty"`
+	LookaheadStalls uint64 `json:"lookahead_stalls,omitempty"`
+	// WallMS is the run's wall-clock duration in milliseconds.
+	WallMS float64 `json:"wall_ms,omitempty"`
+}
 
 // RunReport is the machine-readable envelope for simulation output: run
 // identification, the measured discovery, any rendered report tables,
@@ -43,8 +61,12 @@ type RunReport struct {
 	// Telemetry is the run's metric snapshot when collection was enabled.
 	Telemetry *telemetry.Snapshot `json:"telemetry,omitempty"`
 	// Spans is the run's causal span log when span tracing was enabled
-	// (v2 only; a v1 document carrying spans is rejected).
+	// (v2+; a v1 document carrying spans is rejected).
 	Spans *span.Log `json:"spans,omitempty"`
+	// Regions describes the parallel-simulation execution when the run
+	// was region-sharded (v3 only; older documents carrying it are
+	// rejected).
+	Regions *RegionsReport `json:"regions,omitempty"`
 	// Events counts processed simulation events; EventsPerSec is the
 	// simulator's wall-clock throughput where the caller measured one.
 	Events       uint64  `json:"events,omitempty"`
@@ -65,6 +87,15 @@ func NewRunReport(o Outcome, reports ...Report) RunReport {
 		Telemetry:     o.Telemetry,
 		Spans:         o.Spans,
 		Events:        o.Events,
+	}
+	if o.Regions > 1 {
+		rr.Regions = &RegionsReport{
+			Regions:         o.Regions,
+			RegionEvents:    o.RegionEvents,
+			SyncRounds:      o.SyncRounds,
+			LookaheadStalls: o.LookaheadStalls,
+			WallMS:          float64(o.Wall.Microseconds()) / 1000,
+		}
 	}
 	if o.Err != nil {
 		rr.Error = o.Err.Error()
@@ -98,13 +129,20 @@ func DecodeRunReport(r io.Reader) (RunReport, error) {
 	}
 	switch rr.Schema {
 	case RunReportSchema:
-	case RunReportSchemaV1:
-		if rr.Spans != nil {
-			return RunReport{}, fmt.Errorf("experiment: run report schema %q carries spans, which require %q",
-				RunReportSchemaV1, RunReportSchema)
+	case RunReportSchemaV2, RunReportSchemaV1:
+		if rr.Spans != nil && rr.Schema == RunReportSchemaV1 {
+			return RunReport{}, fmt.Errorf("experiment: run report schema %q carries spans, which require %q or later",
+				RunReportSchemaV1, RunReportSchemaV2)
+		}
+		if rr.Regions != nil {
+			return RunReport{}, fmt.Errorf("experiment: run report schema %q carries a regions section, which requires %q",
+				rr.Schema, RunReportSchema)
 		}
 	default:
 		return RunReport{}, fmt.Errorf("experiment: run report schema %q, want %q", rr.Schema, RunReportSchema)
+	}
+	if rr.Regions != nil && rr.Regions.Regions < 1 {
+		return RunReport{}, fmt.Errorf("experiment: run report regions section with region count %d", rr.Regions.Regions)
 	}
 	if rr.Result == nil && rr.Error == "" && len(rr.Reports) == 0 {
 		return RunReport{}, fmt.Errorf("experiment: run report carries no result, error or reports")

@@ -19,7 +19,6 @@ import (
 	"repro/internal/span"
 	"repro/internal/telemetry"
 	"repro/internal/topo"
-	"repro/internal/trace"
 )
 
 // Change selects the topological change injected after the transient
@@ -51,47 +50,6 @@ func (c Change) String() string {
 		return "add"
 	default:
 		return fmt.Sprintf("Change(%d)", int(c))
-	}
-}
-
-// RunSpec is the legacy field-for-field run description, kept as a thin
-// shim over Config so existing call sites keep compiling. New code should
-// build a Config with NewConfig and call RunConfig.
-type RunSpec struct {
-	Topology     string
-	Algorithm    core.Kind
-	FMFactor     float64
-	DeviceFactor float64
-	Seed         uint64
-	Change       Change
-	// LossRate injects uniform per-link-traversal packet loss; zero
-	// means a lossless fabric, the paper's assumption.
-	LossRate float64
-	// Faults, when non-nil, overrides LossRate with a full fault plan
-	// (per-link rules, delays, flaps).
-	Faults *fabric.FaultPlan
-	// MaxRetries and RetryBackoff configure the FM's timeout-retry
-	// policy (core.Options); zero MaxRetries disables retries.
-	MaxRetries   int
-	RetryBackoff sim.Duration
-	// Trace optionally records packet-level fabric events for the run.
-	Trace trace.Recorder
-}
-
-// Config converts the legacy spec to the equivalent run configuration.
-func (s RunSpec) Config() Config {
-	return Config{
-		Topology:     s.Topology,
-		Algorithm:    s.Algorithm,
-		FMFactor:     s.FMFactor,
-		DeviceFactor: s.DeviceFactor,
-		Seed:         s.Seed,
-		Change:       s.Change,
-		LossRate:     s.LossRate,
-		Faults:       s.Faults,
-		MaxRetries:   s.MaxRetries,
-		RetryBackoff: s.RetryBackoff,
-		Trace:        s.Trace,
 	}
 }
 
@@ -154,11 +112,6 @@ var totalEvents atomic.Uint64
 // layers (asibench, benchmarks) use it to derive aggregate events/sec.
 func TakeProcessedEvents() uint64 {
 	return totalEvents.Swap(0)
-}
-
-// Run executes one legacy specification to completion.
-func Run(spec RunSpec) Outcome {
-	return RunConfig(spec.Config())
 }
 
 // RunConfig executes one run configuration to completion.
@@ -390,11 +343,6 @@ func RunConfigWithRetry(cfg Config, retries int) Outcome {
 	return out
 }
 
-// RunWithRetry is RunConfigWithRetry over a legacy spec.
-func RunWithRetry(spec RunSpec, retries int) Outcome {
-	return RunConfigWithRetry(spec.Config(), retries)
-}
-
 // RunConfigAll executes the configurations across a worker pool,
 // preserving order. workers <= 0 selects GOMAXPROCS.
 func RunConfigAll(cfgs []Config, workers int) []Outcome {
@@ -415,13 +363,4 @@ func RunConfigAll(cfgs []Config, workers int) []Outcome {
 	}
 	wg.Wait()
 	return out
-}
-
-// RunAll is RunConfigAll over legacy specs.
-func RunAll(specs []RunSpec, workers int) []Outcome {
-	cfgs := make([]Config, len(specs))
-	for i, s := range specs {
-		cfgs[i] = s.Config()
-	}
-	return RunConfigAll(cfgs, workers)
 }

@@ -1,0 +1,126 @@
+package fib
+
+import (
+	"testing"
+
+	"repro/internal/asi"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/route"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// discover runs one full discovery and returns the manager (whose DB is
+// the derivation input) and the fabric.
+func discover(t *testing.T, topoName string) (*core.Manager, *fabric.Fabric) {
+	t.Helper()
+	tp, err := topo.ByName(topoName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := sim.NewEngine()
+	f, err := fabric.New(e, tp, fabric.Config{}, sim.NewRNG(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := core.NewManager(f, f.Device(tp.Endpoints()[0]), core.Options{Algorithm: core.Parallel})
+	done := false
+	m.OnDiscoveryComplete = func(core.Result) { done = true }
+	m.StartDiscovery()
+	e.Run()
+	if !done {
+		t.Fatal("discovery did not complete")
+	}
+	return m, f
+}
+
+// The derived route table covers every non-host device, and every event
+// route matches what the manager itself would program.
+func TestDeriveCoversFabric(t *testing.T) {
+	m, _ := discover(t, "4x4 mesh")
+	db := m.DB()
+	tab := Derive(db)
+	if tab.Host != db.HostDSN {
+		t.Errorf("host = %v, want %v", tab.Host, db.HostDSN)
+	}
+	if want := db.NumNodes() - 1; len(tab.Routes) != want {
+		t.Errorf("%d routes, want %d (unrouted %d)", len(tab.Routes), want, tab.Unrouted)
+	}
+	if tab.Unrouted != 0 || tab.Unencodable != 0 {
+		t.Errorf("unrouted=%d unencodable=%d on a healthy fabric", tab.Unrouted, tab.Unencodable)
+	}
+	for _, dsn := range tab.DSNs() {
+		r := tab.Routes[dsn]
+		// The recomputed path must encode and must match the node's
+		// event route when re-derived through the manager's code path.
+		if _, _, err := route.Encode(r.PathOf()); err != nil {
+			t.Fatalf("route to %v does not encode: %v", dsn, err)
+		}
+		ev, ok := tab.EventRoutes[dsn]
+		if !ok {
+			t.Fatalf("no event route for %v", dsn)
+		}
+		n := db.Node(dsn)
+		wantPool, wantPtr, err := m.EventRouteFor(&core.Node{
+			DSN: n.DSN, Type: n.Type, Ports: n.Ports,
+			Path: r.PathOf(), ArrivalPort: r.ArrivalPort,
+		})
+		if err != nil {
+			t.Fatalf("manager refuses event route for %v: %v", dsn, err)
+		}
+		if ev.Pool != wantPool || ev.Ptr != wantPtr {
+			t.Errorf("%v: event route (%#x,%d), manager derives (%#x,%d)",
+				dsn, ev.Pool, ev.Ptr, wantPool, wantPtr)
+		}
+	}
+}
+
+// A device present in the database but cut off from the recorded links
+// counts as unrouted instead of failing the derivation.
+func TestDeriveUnroutedDevice(t *testing.T) {
+	m, _ := discover(t, "3x3 mesh")
+	db := m.DB().Clone()
+	// Orphan one endpoint by deleting its only link.
+	var orphan asi.DSN
+	for _, n := range db.Nodes() {
+		if n.Type == asi.DeviceEndpoint && n.DSN != db.HostDSN {
+			orphan = n.DSN
+			break
+		}
+	}
+	if l, ok := db.LinkAt(orphan, 0); ok {
+		db.RemoveLink(l)
+	} else {
+		t.Fatalf("endpoint %v has no recorded link", orphan)
+	}
+	tab := Derive(db)
+	if tab.Unrouted != 1 {
+		t.Errorf("unrouted = %d, want 1", tab.Unrouted)
+	}
+	if _, ok := tab.Routes[orphan]; ok {
+		t.Errorf("orphaned %v still has a route", orphan)
+	}
+}
+
+// Derivation is a pure function: the same database yields identical
+// tables, and deriving never mutates the input.
+func TestDeriveDeterministic(t *testing.T) {
+	m, _ := discover(t, "4-port 2-tree")
+	db := m.DB()
+	before := db.Fingerprint()
+	a, b := Derive(db), Derive(db)
+	if db.Fingerprint() != before {
+		t.Fatal("Derive mutated the database")
+	}
+	if len(a.Routes) != len(b.Routes) || len(a.EventRoutes) != len(b.EventRoutes) {
+		t.Fatalf("table sizes differ: %d/%d vs %d/%d",
+			len(a.Routes), len(a.EventRoutes), len(b.Routes), len(b.EventRoutes))
+	}
+	for dsn, ra := range a.Routes {
+		rb := b.Routes[dsn]
+		if ra.ArrivalPort != rb.ArrivalPort || len(ra.Hops) != len(rb.Hops) {
+			t.Errorf("%v: routes differ: %+v vs %+v", dsn, ra, rb)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package rib
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+)
+
+// Scripted churn through the real executor: every completed discovery
+// installs the live FM database into the RIB, a subscriber replays the
+// diff stream from its initial sync, and the reconstructed state must be
+// byte-identical to the final snapshot — with a fingerprint equal to the
+// executor's own hash of the final database.
+func TestChurnDiffStreamReplay(t *testing.T) {
+	sc := chaos.Scenario{
+		Name:      "rib churn replay",
+		Seed:      7,
+		Topology:  chaos.TopologySpec{Switches: 6, ExtraLinks: 2, Seed: 7},
+		Algorithm: "parallel",
+	}
+	tp, err := sc.Topology.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := chaos.NewChurner(tp, sc.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []chaos.Event
+	for round := 0; round < 2; round++ {
+		events = append(events, ch.Round(4)...)
+	}
+	events = append(events, ch.Quiesce()...)
+	// Churner rounds restart their clocks; respace the concatenated
+	// script so event times stay strictly increasing.
+	for i := range events {
+		events[i].AtUS = float64(i * 400)
+	}
+	sc.Events = events
+	if err := sc.Validate(); err != nil {
+		t.Fatalf("churner produced an invalid script: %v", err)
+	}
+
+	r := New(Config{QueueDepth: 256})
+	sub := r.Subscribe("/")
+	defer sub.Close()
+
+	installs := 0
+	rep, err := chaos.Execute(sc, chaos.Options{
+		OnDiscovery: func(db *core.DB, _ core.Result) {
+			r.Install(db)
+			installs++
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Hung != "" || !rep.InitialOK {
+		t.Fatalf("scenario did not run cleanly: hung=%q initialOK=%v", rep.Hung, rep.InitialOK)
+	}
+	if installs < 3 {
+		t.Fatalf("churn produced only %d installs; the stream never exercised deltas", installs)
+	}
+	if got := r.Current().Gen; got != uint64(installs) {
+		t.Fatalf("RIB at generation %d after %d installs", got, installs)
+	}
+
+	replay := NewReplayer()
+	for replay.Gen() != r.Current().Gen {
+		if err := replay.Apply(<-sub.Updates()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if replay.Resyncs != 0 {
+		t.Errorf("replay needed %d resyncs; the diff stream itself was lossy", replay.Resyncs)
+	}
+	if got, want := replay.Canonical("/"), r.Current().Canonical("/"); !bytes.Equal(got, want) {
+		t.Errorf("replayed state diverged from final snapshot:\n%s\nwant:\n%s", got, want)
+	}
+	fp, err := replay.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp != rep.DBFingerprint {
+		t.Errorf("replayed fingerprint %#x, executor's database fingerprint %#x", fp, rep.DBFingerprint)
+	}
+}

@@ -1,0 +1,204 @@
+// Package rib is the fabric manager's serving layer: a versioned,
+// copy-on-write topology RIB with streaming subscribers.
+//
+// The discovery engine *installs* each completed run's database into the
+// RIB; every install freezes an immutable generation-stamped Snapshot
+// (topology plus the FIB derived from it) and fans the JSON diff against
+// the previous generation out to subscribers. Subscribers get gNMI-style
+// initial-sync-then-deltas semantics over path prefixes
+// (/topology/switches/..., /fib/routes/...) with bounded per-subscriber
+// queues: a reader that stalls long enough to overflow its queue has its
+// backlog dropped and receives a resync marker followed by a fresh full
+// snapshot — the installer never blocks on a slow reader, which is what
+// keeps the serving layer off the simulation hot path entirely.
+package rib
+
+import (
+	"encoding/json"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Update ops.
+const (
+	// OpSet creates or replaces one leaf.
+	OpSet = "set"
+	// OpDelete removes one leaf.
+	OpDelete = "delete"
+)
+
+// Batch types.
+const (
+	// SyncBatch carries a subscription's initial full state.
+	SyncBatch = "sync"
+	// DeltaBatch carries one generation's changes.
+	DeltaBatch = "delta"
+	// ResyncBatch replaces a stalled subscriber's entire state: the
+	// reader must drop what it has and apply the batch as a fresh sync.
+	ResyncBatch = "resync"
+)
+
+// Update is one leaf mutation.
+type Update struct {
+	Op    string          `json:"op"`
+	Path  string          `json:"path"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// Batch is the unit of delivery: all updates of one generation (delta),
+// or a full state transfer (sync/resync). Batches are immutable once
+// published — they are shared by every subscriber.
+type Batch struct {
+	Gen  uint64 `json:"gen"`
+	Type string `json:"type"`
+	// Fingerprint is the generation's topology fingerprint
+	// (core.DB.Fingerprint, hex) on sync/resync/delta batches, a
+	// cross-check for subscribers that reconstruct state.
+	Fingerprint string   `json:"fingerprint,omitempty"`
+	Updates     []Update `json:"updates,omitempty"`
+}
+
+// Config sizes the RIB.
+type Config struct {
+	// QueueDepth bounds each subscriber's pending-batch queue; a
+	// subscriber that falls further behind is resynced. 0 selects
+	// DefaultQueueDepth.
+	QueueDepth int
+}
+
+// DefaultQueueDepth absorbs normal install bursts; chaos-rate churn
+// against a deliberately stalled reader overflows it in tests.
+const DefaultQueueDepth = 64
+
+// RIB is the versioned topology store. One installer side (Install) and
+// any number of reader sides (Current, Subscribe) may run concurrently.
+type RIB struct {
+	depth int
+
+	// installMu serializes installers; mu guards the published snapshot
+	// and subscriber set and is held only for pointer swaps and queue
+	// appends, never for snapshot construction.
+	installMu sync.Mutex
+	mu        sync.Mutex
+	cur       *Snapshot
+	subs      map[*Subscription]struct{}
+
+	installs atomic.Uint64
+	resyncs  atomic.Uint64
+}
+
+// New returns an empty RIB at generation 0.
+func New(cfg Config) *RIB {
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	return &RIB{
+		depth: depth,
+		cur:   emptySnapshot(),
+		subs:  make(map[*Subscription]struct{}),
+	}
+}
+
+// Install publishes a new generation built from the discovery database.
+// The database is cloned before the RIB touches it, so the caller's copy
+// stays live and mutable (the manager keeps assimilating into it).
+// Install returns the new generation number and the topology-level diff
+// against the previous generation; it does bounded work per subscriber
+// and never blocks on any of them.
+func (r *RIB) Install(db *core.DB) (uint64, core.Diff) {
+	r.installMu.Lock()
+	defer r.installMu.Unlock()
+
+	prev := r.Current()
+	clone := db.Clone()
+	next := buildSnapshot(prev, clone, prev.Gen+1)
+	d := core.DiffDBs(prev.DB, clone)
+	batch := Batch{
+		Gen:         next.Gen,
+		Type:        DeltaBatch,
+		Fingerprint: fpHex(next.Fingerprint),
+		Updates:     next.diff(prev),
+	}
+
+	r.mu.Lock()
+	r.cur = next
+	for s := range r.subs {
+		s.offer(batch)
+	}
+	r.mu.Unlock()
+	r.installs.Add(1)
+	return next.Gen, d
+}
+
+// Current returns the latest published snapshot. Snapshots are immutable;
+// the caller may hold it indefinitely.
+func (r *RIB) Current() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// Subscribe registers a subscriber for the given path prefix ("/",
+// "/topology", "/fib/routes", ...). The first batch delivered is a full
+// sync of the current generation; every later install delivers a delta
+// (or, after an overflow, a resync). Close the subscription to release
+// its queue and pump goroutine.
+func (r *RIB) Subscribe(prefix string) *Subscription {
+	if prefix == "" {
+		prefix = "/"
+	}
+	s := &Subscription{
+		rib:    r,
+		prefix: prefix,
+		notify: make(chan struct{}, 1),
+		out:    make(chan Batch),
+		done:   make(chan struct{}),
+	}
+	r.mu.Lock()
+	s.queue = []Batch{r.cur.sync(SyncBatch, prefix)}
+	r.subs[s] = struct{}{}
+	r.mu.Unlock()
+	go s.pump()
+	return s
+}
+
+// Stats is a point-in-time view of the serving layer.
+type Stats struct {
+	// Gen is the current generation, Installs the number of installs
+	// (equal unless the RIB was constructed around an existing DB).
+	Gen      uint64 `json:"gen"`
+	Installs uint64 `json:"installs"`
+	// Leaves counts the current generation's served leaves.
+	Leaves int `json:"leaves"`
+	// Subscribers is the live subscription count; Resyncs the total
+	// full-state retransmissions forced by subscriber queue overflows.
+	Subscribers int    `json:"subscribers"`
+	Resyncs     uint64 `json:"resyncs"`
+	// Fingerprint is the current generation's topology fingerprint, hex.
+	Fingerprint string `json:"fingerprint"`
+}
+
+// Stats snapshots the serving-layer counters.
+func (r *RIB) Stats() Stats {
+	r.mu.Lock()
+	cur, subs := r.cur, len(r.subs)
+	r.mu.Unlock()
+	return Stats{
+		Gen:         cur.Gen,
+		Installs:    r.installs.Load(),
+		Leaves:      cur.NumLeaves(),
+		Subscribers: subs,
+		Resyncs:     r.resyncs.Load(),
+		Fingerprint: fpHex(cur.Fingerprint),
+	}
+}
+
+// unsubscribe removes a closed subscription from the fanout set.
+func (r *RIB) unsubscribe(s *Subscription) {
+	r.mu.Lock()
+	delete(r.subs, s)
+	r.mu.Unlock()
+}

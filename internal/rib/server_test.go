@@ -1,0 +1,108 @@
+package rib
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestServerSubscribeStream(t *testing.T) {
+	r := New(Config{})
+	r.Install(lineDB(5, 2))
+	ts := httptest.NewServer(NewServer(r).Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/subscribe?path=/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	next := func() Batch {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var b Batch
+		if err := json.Unmarshal(sc.Bytes(), &b); err != nil {
+			t.Fatalf("bad stream line %q: %v", sc.Text(), err)
+		}
+		return b
+	}
+
+	rep := NewReplayer()
+	first := next()
+	if first.Type != SyncBatch {
+		t.Fatalf("first batch %s, want sync", first.Type)
+	}
+	if err := rep.Apply(first); err != nil {
+		t.Fatal(err)
+	}
+	r.Install(lineDB(5, 0))
+	if err := rep.Apply(next()); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Canonical("/"), r.Current().Canonical("/"); !bytes.Equal(got, want) {
+		t.Errorf("HTTP-replayed state diverged:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestServerSnapshotStatsHealth(t *testing.T) {
+	r := New(Config{})
+	r.Install(lineDB(4, 0))
+	ts := httptest.NewServer(NewServer(r).Handler())
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, b
+	}
+
+	code, body := get("/snapshot?path=" + PathFIB)
+	if code != http.StatusOK || !bytes.Equal(body, r.Current().Canonical(PathFIB)) {
+		t.Errorf("snapshot endpoint: code %d, body mismatch %v", code,
+			!bytes.Equal(body, r.Current().Canonical(PathFIB)))
+	}
+
+	code, body = get("/stats")
+	var st Stats
+	if code != http.StatusOK {
+		t.Fatalf("stats code %d", code)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Gen != 1 || st.Installs != 1 {
+		t.Errorf("stats %+v", st)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"ok"`)) {
+		t.Errorf("healthz code %d body %s", code, body)
+	}
+
+	if code, _ := get("/subscribe?path=oops"); code != http.StatusBadRequest {
+		t.Errorf("relative path accepted with code %d", code)
+	}
+	if code, _ := get("/snapshot?path=oops"); code != http.StatusBadRequest {
+		t.Errorf("relative snapshot path accepted with code %d", code)
+	}
+}

@@ -1,0 +1,217 @@
+package rib
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asi"
+	"repro/internal/core"
+	"repro/internal/fib"
+)
+
+// Leaf paths follow the gNMI convention: every piece of served state
+// lives at a slash-separated path, and a subscription names a prefix.
+//
+//	/topology/switches/<dsn>      {"dsn":N,"type":"switch","ports":P}
+//	/topology/endpoints/<dsn>     {"dsn":N,"type":"endpoint","ports":P}
+//	/topology/links/<a>:<ap>-<b>:<bp>
+//	/fib/routes/<dsn>             fib.Route
+//	/fib/event-routes/<dsn>       fib.EventRoute
+const (
+	PathTopology    = "/topology"
+	PathSwitches    = "/topology/switches/"
+	PathEndpoints   = "/topology/endpoints/"
+	PathLinks       = "/topology/links/"
+	PathFIB         = "/fib"
+	PathRoutes      = "/fib/routes/"
+	PathEventRoutes = "/fib/event-routes/"
+)
+
+// Snapshot is one immutable generation of the served state: the cloned
+// topology database it was installed from, the FIB derived from it, and
+// the flattened leaf map the streaming layer diffs and serves. Snapshots
+// are copy-on-write: leaves unchanged since the previous generation
+// share their encoded bytes, so a thousand subscribers reading old
+// generations cost no more than one.
+type Snapshot struct {
+	// Gen is the monotonic generation number; 0 is the empty pre-install
+	// snapshot every RIB starts from.
+	Gen uint64
+	// Fingerprint is core.DB.Fingerprint of the installed database
+	// (zero for generation 0).
+	Fingerprint uint64
+	// DB is the installed database clone. Read-only by contract: the
+	// RIB and every subscriber may hold it concurrently.
+	DB *core.DB
+	// FIB is the forwarding state derived from DB.
+	FIB *fib.Table
+
+	leaves map[string]json.RawMessage
+}
+
+// emptySnapshot is generation 0: no topology, no leaves.
+func emptySnapshot() *Snapshot {
+	return &Snapshot{leaves: map[string]json.RawMessage{}}
+}
+
+// nodeLeaf is the encoded value of a topology node leaf.
+type nodeLeaf struct {
+	DSN   asi.DSN `json:"dsn"`
+	Type  string  `json:"type"`
+	Ports int     `json:"ports"`
+}
+
+// linkLeaf is the encoded value of a topology link leaf.
+type linkLeaf struct {
+	A     asi.DSN `json:"a"`
+	APort int     `json:"a_port"`
+	B     asi.DSN `json:"b"`
+	BPort int     `json:"b_port"`
+}
+
+// linkKey renders a link's canonical path segment.
+func linkKey(l core.Link) string {
+	return fmt.Sprintf("%d:%d-%d:%d", l.A, l.APort, l.B, l.BPort)
+}
+
+// buildSnapshot flattens an installed database (already cloned) and its
+// derived FIB into the next generation's leaf map, sharing encoded bytes
+// with the previous snapshot wherever a leaf is unchanged.
+func buildSnapshot(prev *Snapshot, db *core.DB, gen uint64) *Snapshot {
+	t := fib.Derive(db)
+	s := &Snapshot{
+		Gen:         gen,
+		Fingerprint: db.Fingerprint(),
+		DB:          db,
+		FIB:         t,
+		leaves:      make(map[string]json.RawMessage, len(prev.leaves)),
+	}
+	put := func(path string, v any) {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(fmt.Sprintf("rib: leaf %s does not marshal: %v", path, err)) // plain-data values
+		}
+		if old, ok := prev.leaves[path]; ok && bytes.Equal(old, b) {
+			b = old // COW: share the previous generation's bytes
+		}
+		s.leaves[path] = b
+	}
+	for _, n := range db.Nodes() {
+		switch n.Type {
+		case asi.DeviceSwitch:
+			put(fmt.Sprintf("%s%d", PathSwitches, n.DSN), nodeLeaf{DSN: n.DSN, Type: "switch", Ports: n.Ports})
+		default:
+			put(fmt.Sprintf("%s%d", PathEndpoints, n.DSN), nodeLeaf{DSN: n.DSN, Type: "endpoint", Ports: n.Ports})
+		}
+	}
+	for _, l := range db.Links() {
+		put(PathLinks+linkKey(l), linkLeaf{A: l.A, APort: l.APort, B: l.B, BPort: l.BPort})
+	}
+	for _, dsn := range t.DSNs() {
+		put(fmt.Sprintf("%s%d", PathRoutes, dsn), t.Routes[dsn])
+		if ev, ok := t.EventRoutes[dsn]; ok {
+			put(fmt.Sprintf("%s%d", PathEventRoutes, dsn), ev)
+		}
+	}
+	return s
+}
+
+// diff computes the update list transforming prev's leaves into s's:
+// changed or new leaves as "set" ops, vanished leaves as "delete" ops,
+// each group in sorted path order.
+func (s *Snapshot) diff(prev *Snapshot) []Update {
+	var ups []Update
+	for path, v := range s.leaves {
+		if old, ok := prev.leaves[path]; !ok || !bytes.Equal(old, v) {
+			ups = append(ups, Update{Op: OpSet, Path: path, Value: v})
+		}
+	}
+	for path := range prev.leaves {
+		if _, ok := s.leaves[path]; !ok {
+			ups = append(ups, Update{Op: OpDelete, Path: path})
+		}
+	}
+	sortUpdates(ups)
+	return ups
+}
+
+// sortUpdates orders sets before deletes, each by path.
+func sortUpdates(ups []Update) {
+	sort.Slice(ups, func(i, j int) bool {
+		if ups[i].Op != ups[j].Op {
+			return ups[i].Op == OpSet
+		}
+		return ups[i].Path < ups[j].Path
+	})
+}
+
+// sync renders the snapshot as one full-state batch of the given type
+// ("sync" for an initial subscription, "resync" after an overflow),
+// filtered to the subscriber's path prefix.
+func (s *Snapshot) sync(typ string, prefix string) Batch {
+	b := Batch{Gen: s.Gen, Type: typ, Fingerprint: fpHex(s.Fingerprint)}
+	for _, path := range s.sortedPaths(prefix) {
+		b.Updates = append(b.Updates, Update{Op: OpSet, Path: path, Value: s.leaves[path]})
+	}
+	return b
+}
+
+// sortedPaths lists the snapshot's leaf paths under a prefix, sorted.
+func (s *Snapshot) sortedPaths(prefix string) []string {
+	out := make([]string, 0, len(s.leaves))
+	for path := range s.leaves {
+		if underPrefix(path, prefix) {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumLeaves returns the number of served leaves.
+func (s *Snapshot) NumLeaves() int { return len(s.leaves) }
+
+// Canonical renders the snapshot's leaves under a prefix in the canonical
+// byte form replayed subscribers are compared against: a JSON object with
+// the generation and the sorted leaf map, indented, trailing newline.
+func (s *Snapshot) Canonical(prefix string) []byte {
+	return canonicalBytes(s.Gen, s.leaves, prefix)
+}
+
+// canonicalBytes is the shared canonical encoder (Snapshot and Replayer
+// must agree byte for byte; encoding/json sorts the map keys).
+func canonicalBytes(gen uint64, leaves map[string]json.RawMessage, prefix string) []byte {
+	filtered := make(map[string]json.RawMessage, len(leaves))
+	for path, v := range leaves {
+		if underPrefix(path, prefix) {
+			filtered[path] = v
+		}
+	}
+	doc := struct {
+		Gen    uint64                     `json:"gen"`
+		Leaves map[string]json.RawMessage `json:"leaves"`
+	}{gen, filtered}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("rib: canonical encoding failed: %v", err)) // RawMessage leaves cannot fail
+	}
+	return append(b, '\n')
+}
+
+// fpHex renders a topology fingerprint in its wire form.
+func fpHex(fp uint64) string { return fmt.Sprintf("%#016x", fp) }
+
+// underPrefix reports whether a leaf path falls under a subscription
+// prefix: "/" matches everything, otherwise the prefix must end at a
+// path-segment boundary ("/fib" matches "/fib/routes/3", not "/fibx").
+func underPrefix(path, prefix string) bool {
+	if prefix == "" || prefix == "/" {
+		return true
+	}
+	prefix = strings.TrimSuffix(prefix, "/")
+	return strings.HasPrefix(path, prefix) &&
+		(len(path) == len(prefix) || path[len(prefix)] == '/')
+}

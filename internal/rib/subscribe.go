@@ -1,0 +1,143 @@
+package rib
+
+import "sync"
+
+// Subscription is one streaming reader of the RIB. The installer side
+// appends published batches to a bounded queue (offer, bounded work,
+// never blocking); a per-subscription pump goroutine drains the queue
+// onto the Updates channel at whatever pace the reader consumes. When
+// the reader stalls long enough for the queue to overflow, the backlog
+// is discarded and the pump delivers a ResyncBatch built from the then-
+// current snapshot instead — the stream stays correct (the resync
+// supersedes every dropped delta), only its granularity degrades.
+type Subscription struct {
+	rib    *RIB
+	prefix string
+
+	mu       sync.Mutex
+	queue    []Batch
+	overflow bool
+	closed   bool
+
+	// notify wakes the pump (capacity 1: a single token covers any
+	// number of pending batches); done tears the pump down.
+	notify chan struct{}
+	done   chan struct{}
+	out    chan Batch
+}
+
+// Updates is the subscription's delivery channel: an initial SyncBatch,
+// then one DeltaBatch per install (or a ResyncBatch after an overflow).
+// Batches whose filtered update set is empty are still delivered (with
+// no updates) so readers observe every generation; the channel closes
+// after Close.
+func (s *Subscription) Updates() <-chan Batch { return s.out }
+
+// Close unregisters the subscription and stops its pump. Safe to call
+// more than once and concurrently with delivery.
+func (s *Subscription) Close() {
+	s.rib.unsubscribe(s)
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	if !already {
+		close(s.done)
+	}
+}
+
+// offer appends one published batch, called by Install with rib.mu held.
+// Bounded work: append or drop, one channel poke, no waiting.
+func (s *Subscription) offer(b Batch) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	if len(s.queue) >= s.rib.depth {
+		// The reader is stalled. Drop the whole backlog — the resync
+		// that replaces it carries the full state anyway.
+		s.queue = nil
+		s.overflow = true
+	} else {
+		s.queue = append(s.queue, b)
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pump drains the queue onto the out channel. It keeps the delivered
+// stream monotonic in generation: a resync is built from the current
+// snapshot, which may already cover deltas still sitting in the queue
+// (enqueued between the overflow and the resync) — those are skipped,
+// since the resync supersedes them.
+func (s *Subscription) pump() {
+	defer close(s.out)
+	var last uint64
+	for {
+		s.mu.Lock()
+		if s.overflow {
+			s.overflow = false
+			s.queue = nil
+			s.mu.Unlock()
+			s.rib.resyncs.Add(1)
+			b := s.rib.Current().sync(ResyncBatch, s.prefix)
+			last = b.Gen
+			if !s.deliver(b) {
+				return
+			}
+			continue
+		}
+		if len(s.queue) > 0 {
+			b := s.queue[0]
+			s.queue = s.queue[1:]
+			s.mu.Unlock()
+			if b.Type == DeltaBatch && b.Gen <= last {
+				continue // already covered by a resync
+			}
+			last = b.Gen
+			if !s.deliver(s.filter(b)) {
+				return
+			}
+			continue
+		}
+		s.mu.Unlock()
+		select {
+		case <-s.notify:
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// deliver blocks on the reader (only the pump ever does) until the batch
+// is consumed or the subscription closes; false means stop pumping.
+func (s *Subscription) deliver(b Batch) bool {
+	select {
+	case s.out <- b:
+		return true
+	case <-s.done:
+		return false
+	}
+}
+
+// filter restricts a shared batch to the subscription's path prefix.
+// Sync and resync batches are built pre-filtered; deltas are shared by
+// every subscriber and filtered here, on the subscription's own
+// goroutine.
+func (s *Subscription) filter(b Batch) Batch {
+	if s.prefix == "/" {
+		return b
+	}
+	out := b
+	out.Updates = nil
+	for _, u := range b.Updates {
+		if underPrefix(u.Path, s.prefix) {
+			out.Updates = append(out.Updates, u)
+		}
+	}
+	return out
+}
