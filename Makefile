@@ -7,8 +7,9 @@
 #                   spans-disabled zero-alloc regression, chaos smoke,
 #                   parallel-sweep determinism smoke, region-sharded
 #                   parallel-path identity smoke, FM-daemon serving-layer
-#                   smoke (1000-subscriber replay identity), benchmark
-#                   regression diff against the committed BENCH_sim.json
+#                   smoke (1000-subscriber replay identity), observability
+#                   plane smoke (Prometheus /metrics + staleness SLO),
+#                   benchmark regression diff against BENCH_sim.json
 #   make race     - go test -race ./...
 #   make fuzz     - bounded native-fuzzing burst on the chaos harness
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
@@ -24,7 +25,7 @@ BENCHTIME ?= 3x
 BENCHCOUNT ?= 5
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke bench-diff fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke fuzz
+.PHONY: all build vet test race verify bench bench-smoke bench-diff fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke obs-smoke fuzz
 
 all: build vet test
 
@@ -108,6 +109,14 @@ par-smoke:
 daemon-smoke:
 	$(GO) run ./cmd/asifmd -smoke 1000
 
+# obs-smoke proves the continuous observability plane end to end: an
+# in-process asifmd under churn is scraped twice over HTTP; the
+# Prometheus text must parse, every windowed rate must be finite, the
+# staleness percentiles must be populated, and the sharded variant must
+# expose the per-region event split.
+obs-smoke:
+	$(GO) test -run 'TestObsSmoke' -count=1 ./cmd/asifmd/
+
 # bench-diff re-runs the benchmark suite and gates it against the
 # committed BENCH_sim.json: an allocs/op increase beyond max(2, 0.1%)
 # rounding/GC slack fails; ns/op may regress at most 10% plus the noise
@@ -118,7 +127,7 @@ bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \
 		| $(GO) run ./cmd/benchjson -diff BENCH_sim.json
 
-verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke bench-diff
+verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke obs-smoke bench-diff
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \

@@ -2,7 +2,10 @@
 // simulated ASI fabric, keeps the discovery engine converged under
 // continuous churn, installs every completed discovery into a versioned
 // topology RIB, derives a FIB per generation, and streams JSON diffs to
-// HTTP subscribers over gNMI-style paths.
+// HTTP subscribers over gNMI-style paths. A continuous observability
+// plane scrapes the daemon's telemetry into a ring-buffer time-series
+// store and serves it as Prometheus text, a structured event log, and a
+// dashboard document.
 //
 // Usage:
 //
@@ -10,11 +13,17 @@
 //	asifmd -config daemon.json               # full config file
 //	asifmd -topo "8x8 mesh" -listen :9000    # flag overrides
 //	asifmd -rounds 100 -interval 250ms       # bounded churn, 4 rounds/s
+//	asifmd -regions 4                        # region-sharded simulation
+//	asifmd -debug :6060                      # net/http/pprof + expvar
 //	asifmd -smoke 1000 -rounds 6             # verification mode (see below)
 //
-// Subscribe with any HTTP client:
+// Observe with any HTTP client:
 //
 //	curl -N 'http://localhost:8080/subscribe?path=/fib/routes'
+//	curl 'http://localhost:8080/metrics'     # Prometheus exposition
+//	curl 'http://localhost:8080/events?n=50' # NDJSON event log tail
+//	curl 'http://localhost:8080/obs.json'    # dashboard doc (cmd/asitop)
+//	curl 'http://localhost:8080/stats'       # serving layer + staleness SLO
 //
 // Smoke mode (-smoke N) runs the configured churn rounds while N
 // in-process subscribers plus a set of real HTTP subscribers replay the
@@ -27,10 +36,12 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	_ "expvar" // -debug: /debug/vars on the default mux
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // -debug: /debug/pprof on the default mux
 	"os"
 	"sync"
 	"sync/atomic"
@@ -41,8 +52,10 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/rib"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -50,6 +63,7 @@ func main() {
 	var common cli.Common
 	common.RegisterConfig(flag.CommandLine)
 	common.RegisterJSON(flag.CommandLine)
+	common.RegisterRegions(flag.CommandLine)
 	topoName := flag.String("topo", "", "override the config topology")
 	alg := flag.String("alg", "", "override the config algorithm ("+
 		"serial-packet, serial-device, parallel, partial; aliases sp, sd, p)")
@@ -57,7 +71,9 @@ func main() {
 	listen := flag.String("listen", "", "override the config listen address")
 	rounds := flag.Int("rounds", 0, "override the config churn-round bound (0 = config value)")
 	churnOps := flag.Int("churn-ops", -1, "override the config toggles per churn round")
+	scrapeMS := flag.Int("scrape-ms", 0, "override the config observability scrape interval (ms)")
 	interval := flag.Duration("interval", time.Second, "wall-clock pause between churn rounds (serve mode)")
+	debugAddr := flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	smoke := flag.Int("smoke", 0, "smoke mode: N concurrent in-process subscribers, verify replay, exit")
 	flag.Parse()
 	if err := common.Validate(); err != nil {
@@ -88,10 +104,25 @@ func main() {
 			cfg.Rounds = *rounds
 		case "churn-ops":
 			cfg.ChurnOps = *churnOps
+		case "scrape-ms":
+			cfg.ScrapeMS = *scrapeMS
+		case "regions":
+			cfg.Regions = common.Regions
 		}
 	})
 	if err := cfg.Validate(); err != nil {
 		fatal(2, err)
+	}
+
+	if *debugAddr != "" {
+		// DefaultServeMux already carries /debug/pprof/ (net/http/pprof)
+		// and /debug/vars (expvar) from their package imports.
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "debug server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/debug/pprof and /debug/vars\n", *debugAddr)
 	}
 
 	d, err := newDaemon(cfg)
@@ -116,17 +147,29 @@ func fatal(code int, err error) {
 	os.Exit(code)
 }
 
-// daemon owns the simulated fabric, its manager, and the serving layer.
-// All simulation work happens on the goroutine calling its methods; the
-// RIB decouples every reader from that hot path.
+// daemon owns the simulated fabric, its manager, the serving layer and
+// the observability plane. All simulation work happens under mu; the RIB
+// and the plane decouple every reader from that hot path.
 type daemon struct {
 	cfg experiment.DaemonConfig
-	e   *sim.Engine
+	e   *sim.Engine     // sequential engine (nil when sharded)
+	g   *sim.ShardGroup // sharded group (nil when sequential)
 	f   *fabric.Fabric
 	m   *core.Manager
 	rib *rib.RIB
 	ch  *chaos.Churner
 
+	// mu serializes simulation work (churn rounds, audits) against the
+	// periodic telemetry scrape: the registry is not safe for concurrent
+	// use, so the scraper and the simulation take turns.
+	mu    sync.Mutex
+	reg   *telemetry.Registry
+	plane *obs.Plane
+	start time.Time
+
+	// simNow mirrors the simulation clock (picoseconds) for hooks that
+	// fire off the simulation goroutine (RIB overflow/resync events).
+	simNow   atomic.Int64
 	installs int
 	rounds   int
 }
@@ -137,22 +180,53 @@ func newDaemon(cfg experiment.DaemonConfig) (*daemon, error) {
 		return nil, err
 	}
 	d := &daemon{
-		cfg: cfg,
-		e:   sim.NewEngine(),
-		rib: rib.New(rib.Config{QueueDepth: cfg.QueueDepth}),
+		cfg:   cfg,
+		reg:   telemetry.New(),
+		plane: obs.New(obs.Config{}),
+		start: time.Now(),
 	}
+	// Serving-layer events (subscriber overflow → resync) feed the
+	// structured event log; the hook fires without RIB locks held.
+	d.rib = rib.New(rib.Config{QueueDepth: cfg.QueueDepth, OnEvent: func(kind string, gen uint64) {
+		d.plane.Log(kind, gen, d.simNow.Load(), "")
+	}})
+
 	rng := sim.NewRNG(cfg.Seed*2654435761 + 1)
-	d.f, err = fabric.New(d.e, tp, fabric.Config{}, rng)
+	if cfg.Regions > 1 {
+		// The FM host seeds region 0, keeping the manager's engine local.
+		part, perr := tp.Partition(cfg.Regions, tp.Endpoints()[0])
+		if perr != nil {
+			return nil, perr
+		}
+		d.g = sim.NewShardGroup(part.Count, 0) // lookahead set by NewSharded
+		d.g.SeedRNGs(sim.NewRNG(cfg.Seed*2654435761 + 2))
+		d.f, err = fabric.NewSharded(d.g, part, tp, fabric.Config{}, rng)
+	} else {
+		d.e = sim.NewEngine()
+		d.f, err = fabric.New(d.e, tp, fabric.Config{}, rng)
+	}
 	if err != nil {
 		return nil, err
 	}
+	// Per-link fabric telemetry is sequential-only; the FM's own metrics
+	// are safe on either path (the manager runs on one region's engine).
+	if d.g == nil {
+		d.f.EnableTelemetry(d.reg)
+	}
 	ep := d.f.Device(tp.Endpoints()[0])
-	d.m = core.NewManager(d.f, ep, core.Options{Algorithm: cfg.Kind()})
-	d.m.OnDiscoveryComplete = func(core.Result) {
+	d.m = core.NewManager(d.f, ep, core.Options{Algorithm: cfg.Kind(), Telemetry: d.reg})
+	d.m.OnDiscoveryComplete = func(r core.Result) {
 		// The install is the cold-path bridge from simulation to serving:
 		// clone the FM database, stamp a generation, fan out diffs.
-		d.rib.Install(d.m.DB())
+		gen, diff := d.rib.Install(d.m.DB())
 		d.installs++
+		detail := fmt.Sprintf("%s in %s", d.cfg.Kind().Slug(), r.Duration)
+		if !diff.Empty() {
+			detail += fmt.Sprintf("; +%d/-%d devices +%d/-%d links",
+				len(diff.AddedDevices), len(diff.RemovedDevices),
+				len(diff.AddedLinks), len(diff.RemovedLinks))
+		}
+		d.plane.Log(obs.EventDiscoveryConverge, gen, int64(d.now()), detail)
 	}
 	if cfg.ChurnOps > 0 {
 		d.ch, err = chaos.NewChurner(tp, cfg.Seed)
@@ -163,11 +237,30 @@ func newDaemon(cfg experiment.DaemonConfig) (*daemon, error) {
 	return d, nil
 }
 
+// run drains the simulation to quiescence on whichever path is active;
+// now reads the (quiescent) simulation clock.
+func (d *daemon) run() {
+	if d.g != nil {
+		d.g.Run()
+	} else {
+		d.e.Run()
+	}
+	d.simNow.Store(int64(d.now()))
+}
+
+func (d *daemon) now() sim.Time {
+	if d.g != nil {
+		return d.g.Now()
+	}
+	return d.e.Now()
+}
+
 // bootstrap runs the transient period: initial discovery plus
 // event-route distribution, producing RIB generation 1.
 func (d *daemon) bootstrap() error {
+	d.plane.Log(obs.EventDiscoveryStart, 0, int64(d.now()), "bootstrap")
 	d.m.StartDiscovery()
-	d.e.Run()
+	d.run()
 	if d.installs == 0 {
 		return fmt.Errorf("asifmd: initial discovery on %q completed no run", d.cfg.Topology)
 	}
@@ -177,36 +270,60 @@ func (d *daemon) bootstrap() error {
 			distErr = fmt.Errorf("asifmd: %d event-route distribution failures", r.Failures)
 		}
 	})
-	d.e.Run()
+	d.run()
 	return distErr
 }
 
 // round applies one churn round and drains the simulation back to
-// quiescence; PI-5 driven assimilation installs along the way.
+// quiescence; PI-5 driven assimilation installs along the way. Callers
+// in serve mode hold d.mu.
 func (d *daemon) round() {
 	d.rounds++
-	base := d.e.Now()
-	for _, ev := range d.ch.Round(d.cfg.ChurnOps) {
-		ev := ev
-		d.e.At(base.Add(sim.Micros(ev.AtUS)), func(*sim.Engine) {
-			if ev.Op == chaos.OpDown {
-				d.f.SetDeviceDown(topo.NodeID(ev.Node), false)
-			} else {
-				d.f.SetDeviceUp(topo.NodeID(ev.Node), false)
-			}
-		})
-	}
-	d.e.Run()
+	base := d.now()
+	evs := d.ch.Round(d.cfg.ChurnOps)
+	d.plane.Log(obs.EventChurnApply, d.rib.Current().Gen, int64(base),
+		fmt.Sprintf("round %d: %d toggles", d.rounds, len(evs)))
+	d.applyChurn(base, evs)
 	if n := d.cfg.AuditEvery; n > 0 && d.rounds%n == 0 {
 		d.audit()
 	}
 }
 
+// applyChurn injects the round's toggles and drains to quiescence. On
+// the sequential path the toggles are scheduled as engine events; on the
+// sharded path scheduling a closure that mutates both halves of a
+// cross-region link would race, so the coordinator instead advances all
+// regions to each toggle's time with RunUntil — between rounds it owns
+// every region — and applies the toggle directly.
+func (d *daemon) applyChurn(base sim.Time, evs []chaos.Event) {
+	toggle := func(ev chaos.Event) {
+		if ev.Op == chaos.OpDown {
+			d.f.SetDeviceDown(topo.NodeID(ev.Node), false)
+		} else {
+			d.f.SetDeviceUp(topo.NodeID(ev.Node), false)
+		}
+	}
+	if d.g != nil {
+		for _, ev := range evs {
+			d.g.RunUntil(base.Add(sim.Micros(ev.AtUS)))
+			toggle(ev)
+		}
+	} else {
+		for _, ev := range evs {
+			ev := ev
+			d.e.At(base.Add(sim.Micros(ev.AtUS)), func(*sim.Engine) { toggle(ev) })
+		}
+	}
+	d.run()
+}
+
 // audit forces a full rediscovery (one more generation, even when the
 // topology is unchanged).
 func (d *daemon) audit() {
+	d.plane.Log(obs.EventAudit, d.rib.Current().Gen, int64(d.now()), "forced rediscovery")
+	d.plane.Log(obs.EventDiscoveryStart, d.rib.Current().Gen, int64(d.now()), "audit")
 	d.m.StartDiscovery()
-	d.e.Run()
+	d.run()
 }
 
 // quiesce restores every churned-down switch and audits, making the
@@ -215,43 +332,107 @@ func (d *daemon) quiesce() {
 	if d.ch == nil {
 		return
 	}
-	base := d.e.Now()
-	for _, ev := range d.ch.Quiesce() {
-		ev := ev
-		d.e.At(base.Add(sim.Micros(ev.AtUS)), func(*sim.Engine) {
-			d.f.SetDeviceUp(topo.NodeID(ev.Node), false)
-		})
+	base := d.now()
+	evs := d.ch.Quiesce()
+	for i := range evs {
+		evs[i].Op = chaos.OpUp
 	}
-	d.e.Run()
+	d.applyChurn(base, evs)
 	d.audit()
 }
 
+// scrape publishes the engine/shard totals into the registry and stores
+// one observability sample. It takes d.mu, so it never overlaps
+// simulation work.
+func (d *daemon) scrape() {
+	d.mu.Lock()
+	if d.g != nil {
+		d.g.RecordTelemetry(d.reg)
+	} else {
+		d.e.RecordTelemetry(d.reg, time.Since(d.start))
+	}
+	// The flap tally lives on the fabric; republishing the total keeps
+	// repeated scrapes from double-counting.
+	d.reg.Counter(fabric.MetricLinkFlaps).SetTotal(d.f.Counters().LinkFlaps)
+	snap := d.reg.Snapshot()
+	simPS := int64(d.now())
+	d.mu.Unlock()
+
+	stats := d.rib.Stats() // safe concurrently; outside the sim mutex
+	d.plane.Scrape(obs.Sample{
+		SimPS:     simPS,
+		Gen:       stats.Gen,
+		Telemetry: snap,
+		Serving:   stats,
+	})
+}
+
+// handler builds the daemon's full HTTP surface: the RIB's serving
+// routes plus the observability plane's three views.
+func (d *daemon) handler() http.Handler {
+	srv := rib.NewServer(d.rib)
+	srv.Handle("GET /metrics", d.plane.MetricsHandler())
+	srv.Handle("GET /events", d.plane.EventsHandler())
+	srv.Handle("GET /obs.json", d.plane.DashHandler())
+	return srv.Handler()
+}
+
+// scrapeEvery resolves the configured scrape cadence.
+func (d *daemon) scrapeEvery() time.Duration {
+	if d.cfg.ScrapeMS > 0 {
+		return time.Duration(d.cfg.ScrapeMS) * time.Millisecond
+	}
+	return time.Second
+}
+
 // serve streams forever (or for cfg.Rounds rounds): HTTP on cfg.Listen,
-// churn rounds paced by interval on this goroutine.
+// churn rounds paced by interval on this goroutine, scrapes paced by
+// cfg.ScrapeMS on their own.
 func (d *daemon) serve(interval time.Duration) {
 	ln, err := net.Listen("tcp", d.cfg.Listen)
 	if err != nil {
 		fatal(1, err)
 	}
-	go http.Serve(ln, rib.NewServer(d.rib).Handler())
-	fmt.Fprintf(os.Stderr, "asifmd: managing %q (%s), serving on http://%s\n",
-		d.cfg.Topology, d.cfg.Kind(), ln.Addr())
+	go http.Serve(ln, d.handler())
+	fmt.Fprintf(os.Stderr, "asifmd: managing %q (%s, %d region(s)), serving on http://%s\n",
+		d.cfg.Topology, d.cfg.Kind(), d.regions(), ln.Addr())
+
+	d.scrape() // populate /metrics before the first tick
+	go func() {
+		t := time.NewTicker(d.scrapeEvery())
+		defer t.Stop()
+		for range t.C {
+			d.scrape()
+		}
+	}()
 
 	for d.ch != nil && (d.cfg.Rounds == 0 || d.rounds < d.cfg.Rounds) {
 		time.Sleep(interval)
+		d.mu.Lock()
 		d.round()
+		d.mu.Unlock()
 		s := d.rib.Stats()
-		fmt.Fprintf(os.Stderr, "asifmd: round %d gen %d leaves %d subscribers %d down %d\n",
-			d.rounds, s.Gen, s.Leaves, s.Subscribers, d.ch.Down())
+		fmt.Fprintf(os.Stderr, "asifmd: round %d gen %d leaves %d subscribers %d down %d lag(p99) %d\n",
+			d.rounds, s.Gen, s.Leaves, s.Subscribers, d.ch.Down(), s.Staleness.P99)
 	}
 	if d.ch == nil {
 		fmt.Fprintln(os.Stderr, "asifmd: churn disabled; serving the initial discovery")
 	} else {
+		d.mu.Lock()
 		d.quiesce()
+		d.mu.Unlock()
 		fmt.Fprintf(os.Stderr, "asifmd: %d rounds done, fabric quiesced at gen %d; still serving\n",
 			d.rounds, d.rib.Current().Gen)
 	}
 	select {} // serve until the process is stopped
+}
+
+// regions reports the simulation width actually in use.
+func (d *daemon) regions() int {
+	if d.g != nil {
+		return d.g.Shards()
+	}
+	return 1
 }
 
 // smokeResult is one subscriber's verdict.
@@ -328,7 +509,7 @@ func (d *daemon) runSmoke(subscribers int, jsonOut bool) error {
 		return err
 	}
 	defer ln.Close()
-	go http.Serve(ln, rib.NewServer(d.rib).Handler())
+	go http.Serve(ln, d.handler())
 	const httpSubs = 8
 	for i := 0; i < httpSubs; i++ {
 		wg.Add(1)
@@ -362,11 +543,17 @@ func (d *daemon) runSmoke(subscribers int, jsonOut bool) error {
 		}(subscribers + i)
 	}
 
-	// Continuous churn on this goroutine while subscribers stream.
+	// Continuous churn on this goroutine while subscribers stream; a
+	// scrape per round keeps the observability plane live in smoke mode.
 	for i := 0; i < rounds && d.ch != nil; i++ {
+		d.mu.Lock()
 		d.round()
+		d.mu.Unlock()
+		d.scrape()
 	}
+	d.mu.Lock()
 	d.quiesce()
+	d.mu.Unlock()
 
 	// Publish the finish line, then one final audit so every subscriber
 	// receives a batch at or past the target and can stop reading. The
@@ -374,7 +561,9 @@ func (d *daemon) runSmoke(subscribers int, jsonOut bool) error {
 	// number moves — expected values are computed for that final gen.
 	finalGen := d.rib.Current().Gen + 1
 	targetGen.Store(finalGen)
+	d.mu.Lock()
 	d.audit()
+	d.mu.Unlock()
 	expectedOnce.Do(func() {
 		cur := d.rib.Current()
 		if cur.Gen != finalGen {
@@ -397,6 +586,7 @@ func (d *daemon) runSmoke(subscribers int, jsonOut bool) error {
 			}
 		}
 	}
+	d.scrape()
 	s := d.rib.Stats()
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -404,6 +594,7 @@ func (d *daemon) runSmoke(subscribers int, jsonOut bool) error {
 		enc.Encode(map[string]any{
 			"topology":    d.cfg.Topology,
 			"algorithm":   d.cfg.Kind().Slug(),
+			"regions":     d.regions(),
 			"rounds":      d.rounds,
 			"generations": s.Gen,
 			"installs":    s.Installs,

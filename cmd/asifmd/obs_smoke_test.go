@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/experiment"
+	"repro/internal/obs"
+)
+
+// scrapeMetrics fetches and parses /metrics into per-name samples.
+func scrapeMetrics(t *testing.T, url string) (map[string][]obs.PromPoint, map[string]string) {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.MetricsContentType {
+		t.Errorf("content type %q", ct)
+	}
+	points, types, err := obs.ParseProm(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition did not parse: %v", err)
+	}
+	byName := map[string][]obs.PromPoint{}
+	for _, pt := range points {
+		if math.IsNaN(pt.Value) || math.IsInf(pt.Value, 0) {
+			t.Errorf("non-finite sample %s = %v", pt.Name, pt.Value)
+		}
+		byName[pt.Name] = append(byName[pt.Name], pt)
+	}
+	return byName, types
+}
+
+// TestObsSmoke drives the full observability plane end to end, exactly
+// as `make obs-smoke`: an in-process asifmd under churn, scraped twice
+// over HTTP, must serve machine-parseable Prometheus text with finite
+// windowed rates, populated staleness percentiles, a dashboard document
+// and an NDJSON event log.
+func TestObsSmoke(t *testing.T) {
+	cfg := experiment.DefaultDaemonConfig()
+	cfg.Topology = "4x4 mesh"
+	cfg.ChurnOps = 2
+	cfg.AuditEvery = 2
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	// A consuming subscriber and a stalled one: the staleness SLO gets a
+	// population with spread.
+	fresh := d.rib.Subscribe("/")
+	defer fresh.Close()
+	go func() {
+		for range fresh.Updates() {
+		}
+	}()
+	stalled := d.rib.Subscribe("/")
+	defer stalled.Close()
+
+	// First scrape, churn, second scrape: the window between them makes
+	// the rates non-degenerate.
+	d.scrape()
+	first, _ := scrapeMetrics(t, ts.URL)
+	for i := 0; i < 3; i++ {
+		d.mu.Lock()
+		d.round()
+		d.mu.Unlock()
+	}
+	d.scrape()
+	second, types := scrapeMetrics(t, ts.URL)
+
+	value := func(m map[string][]obs.PromPoint, name string) float64 {
+		pts := m[name]
+		if len(pts) == 0 {
+			t.Fatalf("%s missing from exposition", name)
+		}
+		return pts[0].Value
+	}
+
+	// Cumulative counters advanced across the churn.
+	if f, s := value(first, "asi_sim_events"), value(second, "asi_sim_events"); s <= f {
+		t.Errorf("sim.events did not advance: %v -> %v", f, s)
+	}
+	if g := value(second, "asi_rib_generation"); g <= 1 {
+		t.Errorf("generation %v after churn", g)
+	}
+	if types["asi_sim_events"] != "counter" || types["asi_rib_generation"] != "gauge" {
+		t.Errorf("types drifted: %v %v", types["asi_sim_events"], types["asi_rib_generation"])
+	}
+
+	// Windowed rates exist and are finite (ParseProm already rejected
+	// NaN/Inf); the event rate must be positive across a churn window.
+	if r := value(second, "asi_sim_events_rate"); r <= 0 {
+		t.Errorf("windowed event rate %v, want > 0", r)
+	}
+	if w := value(second, "asi_obs_window_seconds"); w <= 0 {
+		t.Errorf("window %vs", w)
+	}
+
+	// Staleness SLO populated: three quantile series, max > 0 thanks to
+	// the stalled subscriber.
+	sl := map[string]float64{}
+	for _, pt := range second["asi_rib_staleness_generations"] {
+		sl[pt.Labels["quantile"]] = pt.Value
+	}
+	if len(sl) != 3 {
+		t.Fatalf("staleness series %v, want quantiles 0.5/0.99/1", sl)
+	}
+	if sl["1"] == 0 {
+		t.Error("stalled subscriber shows zero max staleness")
+	}
+	if sl["1"] < sl["0.99"] || sl["0.99"] < sl["0.5"] {
+		t.Errorf("staleness quantiles out of order: %v", sl)
+	}
+	// The consuming subscriber produced deliver-latency observations.
+	if c := value(second, "asi_rib_deliver_latency_ns_count"); c == 0 {
+		t.Error("deliver latency histogram empty")
+	}
+
+	// The dashboard document parses and agrees with the exposition.
+	resp, err := http.Get(ts.URL + "/obs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.DashDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("obs.json did not parse: %v", err)
+	}
+	resp.Body.Close()
+	if doc.Gen != uint64(value(second, "asi_rib_generation")) {
+		t.Errorf("dashboard gen %d, exposition %v", doc.Gen, value(second, "asi_rib_generation"))
+	}
+	if len(doc.Rates) == 0 || len(doc.Quantiles) == 0 {
+		t.Errorf("dashboard missing windowed stats: %d rates %d quantiles", len(doc.Rates), len(doc.Quantiles))
+	}
+
+	// The event log streamed NDJSON with converge and churn entries.
+	resp, err = http.Get(ts.URL + "/events?n=100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	kinds := map[string]int{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("event line did not parse: %v", err)
+		}
+		kinds[e.Kind]++
+	}
+	for _, want := range []string{obs.EventDiscoveryStart, obs.EventDiscoveryConverge, obs.EventChurnApply, obs.EventAudit} {
+		if kinds[want] == 0 {
+			t.Errorf("no %q event logged (saw %v)", want, kinds)
+		}
+	}
+}
+
+// TestObsSmokeSharded repeats the scrape cycle on the region-sharded
+// path: shard counters and the per-region event split must appear.
+func TestObsSmokeSharded(t *testing.T) {
+	cfg := experiment.DefaultDaemonConfig()
+	cfg.Topology = "8x8 mesh"
+	cfg.ChurnOps = 2
+	cfg.Regions = 4
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	d.scrape()
+	for i := 0; i < 2; i++ {
+		d.mu.Lock()
+		d.round()
+		d.mu.Unlock()
+	}
+	d.scrape()
+	byName, types := scrapeMetrics(t, ts.URL)
+
+	if types["asi_sim_shard_rounds"] != "counter" || len(byName["asi_sim_shard_rounds"]) == 0 {
+		t.Fatalf("shard rounds missing: %v", types)
+	}
+	if byName["asi_sim_shard_rounds"][0].Value == 0 {
+		t.Error("shard rounds zero after sharded churn")
+	}
+	split := byName["asi_sim_region_events"]
+	if len(split) < 2 {
+		t.Fatalf("per-region split has %d series, want >= 2", len(split))
+	}
+	var sum, total float64
+	for _, pt := range split {
+		sum += pt.Value
+	}
+	total = byName["asi_sim_events"][0].Value
+	if sum != total {
+		t.Errorf("region split sums to %v, total %v", sum, total)
+	}
+
+	resp, err := http.Get(ts.URL + "/obs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc obs.DashDoc
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("obs.json did not parse: %v", err)
+	}
+	if len(doc.Regions) < 2 {
+		t.Errorf("dashboard regions %+v, want >= 2", doc.Regions)
+	}
+}

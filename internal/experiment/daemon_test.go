@@ -22,6 +22,7 @@ func TestDaemonConfigRoundTrip(t *testing.T) {
 	dc := DaemonConfig{
 		Topology: "4x4 mesh", Algorithm: "serial-device", Seed: 7,
 		ChurnOps: 2, Rounds: 5, AuditEvery: 3, QueueDepth: 16, Listen: ":9000",
+		Regions: 2, ScrapeMS: 250,
 	}
 	back, err := DecodeDaemonConfig(bytes.NewReader(dc.EncodeJSON()))
 	if err != nil {
@@ -61,6 +62,8 @@ func TestDaemonConfigValidation(t *testing.T) {
 		{"rounds", func(c *DaemonConfig) { c.Rounds = -1 }, "rounds"},
 		{"audit", func(c *DaemonConfig) { c.AuditEvery = -2 }, "audit_every"},
 		{"queue", func(c *DaemonConfig) { c.QueueDepth = -3 }, "queue_depth"},
+		{"regions", func(c *DaemonConfig) { c.Regions = -1 }, "regions"},
+		{"scrape", func(c *DaemonConfig) { c.ScrapeMS = -1 }, "scrape_ms"},
 	}
 	for _, tc := range cases {
 		dc := DefaultDaemonConfig()

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/rib"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// DashDoc is the /obs.json document: one self-contained frame of the
+// dashboard cmd/asitop renders. Everything in it is derived from the
+// sample ring — serving it never touches the registry or the RIB.
+type DashDoc struct {
+	// Wall is the newest sample's wall-clock instant; WindowSec the wall
+	// span of the rate window behind it.
+	Wall      time.Time `json:"wall"`
+	WindowSec float64   `json:"window_sec"`
+	// SimPS is the simulation clock in picoseconds; Gen the RIB
+	// generation — both at the newest sample.
+	SimPS int64  `json:"sim_ps"`
+	Gen   uint64 `json:"gen"`
+	// Scrapes counts samples ever stored.
+	Scrapes uint64 `json:"scrapes"`
+	// Rates are the windowed counter rates; Gauges the instantaneous
+	// gauge values; Quantiles the windowed histogram percentiles.
+	Rates     []Rate          `json:"rates,omitempty"`
+	Gauges    []GaugeValue    `json:"gauges,omitempty"`
+	Quantiles []HistQuantiles `json:"quantiles,omitempty"`
+	// Regions is the per-region event split (from the sharded
+	// simulation's sim.region.events vector), cumulative and windowed.
+	Regions []RegionLoad `json:"regions,omitempty"`
+	// Serving is the RIB serving-layer view including the staleness SLO.
+	Serving rib.Stats `json:"serving"`
+	// Events is the tail of the structured event log, oldest first.
+	Events        []Event `json:"events,omitempty"`
+	EventsLogged  uint64  `json:"events_logged"`
+	EventsDropped uint64  `json:"events_dropped"`
+}
+
+// GaugeValue is one instantaneous gauge reading.
+type GaugeValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// RegionLoad is one simulation region's share of the event load.
+type RegionLoad struct {
+	Region int     `json:"region"`
+	Events uint64  `json:"events"`
+	PerSec float64 `json:"per_sec"`
+}
+
+// Dash assembles the current dashboard document.
+func (p *Plane) Dash(eventTail int) DashDoc {
+	p.mu.RLock()
+	cur, okCur := p.latest()
+	base, okBase := p.windowBase()
+	scrapes := p.scrapes
+	p.mu.RUnlock()
+
+	doc := DashDoc{
+		Scrapes:       scrapes,
+		Events:        p.Events(eventTail),
+		EventsLogged:  p.EventsLogged(),
+		EventsDropped: p.EventsDropped(),
+	}
+	if !okCur {
+		return doc
+	}
+	doc.Wall = cur.Wall
+	doc.SimPS = cur.SimPS
+	doc.Gen = cur.Gen
+	doc.Serving = cur.Serving
+	for _, g := range cur.Telemetry.Gauges {
+		doc.Gauges = append(doc.Gauges, GaugeValue{Name: g.Name, Value: g.Value})
+	}
+
+	var delta telemetry.Snapshot
+	if okBase {
+		if doc.WindowSec = cur.Wall.Sub(base.Wall).Seconds(); doc.WindowSec > 0 {
+			delta = cur.Telemetry.Delta(base.Telemetry)
+			for _, c := range delta.Counters {
+				doc.Rates = append(doc.Rates, Rate{Name: c.Name, PerSec: float64(c.Value) / doc.WindowSec})
+			}
+			vecTotals := map[string]uint64{}
+			var vecNames []string
+			for _, v := range delta.Vectors {
+				if _, seen := vecTotals[v.Name]; !seen {
+					vecNames = append(vecNames, v.Name)
+				}
+				vecTotals[v.Name] += v.Value
+			}
+			for _, name := range vecNames {
+				doc.Rates = append(doc.Rates, Rate{Name: name, PerSec: float64(vecTotals[name]) / doc.WindowSec})
+			}
+			sortRates(doc.Rates)
+			for _, h := range delta.Histograms {
+				if h.Count == 0 {
+					continue
+				}
+				doc.Quantiles = append(doc.Quantiles, HistQuantiles{
+					Name: h.Name, Unit: h.Unit, Count: h.Count,
+					P50: h.Quantile(0.50), P90: h.Quantile(0.90), P99: h.Quantile(0.99),
+				})
+			}
+		}
+	}
+
+	// Per-region split: cumulative events from the newest sample, the
+	// windowed rate from the delta (when a window exists).
+	deltaRegion := map[int]uint64{}
+	for _, v := range delta.Vectors {
+		if v.Name == sim.MetricRegionEvents {
+			deltaRegion[v.Index] = v.Value
+		}
+	}
+	for _, v := range cur.Telemetry.Vector(sim.MetricRegionEvents) {
+		rl := RegionLoad{Region: v.Index, Events: v.Value}
+		if doc.WindowSec > 0 {
+			rl.PerSec = float64(deltaRegion[v.Index]) / doc.WindowSec
+		}
+		doc.Regions = append(doc.Regions, rl)
+	}
+	return doc
+}
+
+// DashHandler serves the dashboard document as JSON. ?events= bounds the
+// event tail (default 20).
+func (p *Plane) DashHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		tail := 20
+		if q := req.URL.Query().Get("events"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad events: want a non-negative integer", http.StatusBadRequest)
+				return
+			}
+			tail = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(p.Dash(tail))
+	})
+}

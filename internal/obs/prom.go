@@ -1,0 +1,350 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+// Prometheus text-format exposition (version 0.0.4), written without any
+// client library: the metric model here is small enough that the format
+// is just careful fmt.Fprintf. Naming scheme:
+//
+//	telemetry "fm.rtt.port-read"  ->  asi_fm_rtt_port_read
+//
+// Counters expose their cumulative value plus a "<name>_rate" gauge (the
+// windowed per-second rate, so dashboards get rates even without a
+// Prometheus server computing them); counter vectors expose one sample
+// per non-zero index under an index="i" label; histograms expose the
+// standard _bucket/_sum/_count triple plus windowed _p50/_p99 gauges.
+// The serving layer contributes the staleness SLO (generation-lag
+// percentiles) and the install→deliver latency histogram.
+
+// MetricsContentType is the exposition content type.
+const MetricsContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// MetricsHandler serves the Prometheus exposition of the latest sample.
+func (p *Plane) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", MetricsContentType)
+		p.WriteProm(w)
+	})
+}
+
+// WriteProm renders the exposition document.
+func (p *Plane) WriteProm(w io.Writer) {
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+
+	p.mu.RLock()
+	cur, okCur := p.latest()
+	base, okBase := p.windowBase()
+	scrapes := p.scrapes
+	p.mu.RUnlock()
+
+	writeMeta(bw, "asi_up", "gauge", "whether the observability plane is serving")
+	writeSample(bw, "asi_up", "", 1)
+	writeMeta(bw, "asi_obs_scrapes_total", "counter", "telemetry samples stored")
+	writeSample(bw, "asi_obs_scrapes_total", "", float64(scrapes))
+	writeMeta(bw, "asi_obs_events_logged_total", "counter", "structured events appended to the bounded log")
+	writeSample(bw, "asi_obs_events_logged_total", "", float64(p.EventsLogged()))
+	writeMeta(bw, "asi_obs_events_dropped_total", "counter", "structured events evicted from the bounded log")
+	writeSample(bw, "asi_obs_events_dropped_total", "", float64(p.EventsDropped()))
+	if !okCur {
+		return
+	}
+
+	var sec float64
+	var delta telemetry.Snapshot
+	windowed := false
+	if okBase {
+		if sec = cur.Wall.Sub(base.Wall).Seconds(); sec > 0 {
+			delta = cur.Telemetry.Delta(base.Telemetry)
+			windowed = true
+		}
+	}
+	writeMeta(bw, "asi_obs_window_seconds", "gauge", "wall span of the rate window")
+	writeSample(bw, "asi_obs_window_seconds", "", sec)
+	writeMeta(bw, "asi_sim_time_ps", "gauge", "simulation clock, picoseconds")
+	writeSample(bw, "asi_sim_time_ps", "", float64(cur.SimPS))
+
+	deltaC := map[string]uint64{}
+	deltaH := map[string]telemetry.HistogramSnap{}
+	if windowed {
+		for _, c := range delta.Counters {
+			deltaC[c.Name] = c.Value
+		}
+		for _, v := range delta.Vectors {
+			deltaC[v.Name] += v.Value
+		}
+		for _, h := range delta.Histograms {
+			deltaH[h.Name] = h
+		}
+	}
+
+	for _, c := range cur.Telemetry.Counters {
+		name := promName(c.Name)
+		writeMeta(bw, name, "counter", "telemetry counter "+c.Name)
+		writeSample(bw, name, "", float64(c.Value))
+		if windowed {
+			writeMeta(bw, name+"_rate", "gauge", "windowed per-second rate of "+c.Name)
+			writeSample(bw, name+"_rate", "", float64(deltaC[c.Name])/sec)
+		}
+	}
+	for _, g := range cur.Telemetry.Gauges {
+		name := promName(g.Name)
+		writeMeta(bw, name, "gauge", "telemetry gauge "+g.Name)
+		writeSample(bw, name, "", float64(g.Value))
+	}
+	lastVec := ""
+	for _, v := range cur.Telemetry.Vectors {
+		name := promName(v.Name)
+		if v.Name != lastVec {
+			writeMeta(bw, name, "counter", "telemetry counter family "+v.Name)
+			lastVec = v.Name
+			if windowed {
+				writeMeta(bw, name+"_rate", "gauge", "windowed per-second rate of "+v.Name+" (all indices)")
+				writeSample(bw, name+"_rate", "", float64(deltaC[v.Name])/sec)
+			}
+		}
+		writeSample(bw, name, fmt.Sprintf(`index="%d"`, v.Index), float64(v.Value))
+	}
+	for _, h := range cur.Telemetry.Histograms {
+		writeHistogram(bw, promName(h.Name), "telemetry histogram "+h.Name, h)
+		if dh, ok := deltaH[h.Name]; ok && dh.Count > 0 {
+			name := promName(h.Name)
+			writeMeta(bw, name+"_p50", "gauge", "windowed p50 of "+h.Name)
+			writeSample(bw, name+"_p50", "", dh.Quantile(0.50))
+			writeMeta(bw, name+"_p99", "gauge", "windowed p99 of "+h.Name)
+			writeSample(bw, name+"_p99", "", dh.Quantile(0.99))
+		}
+	}
+
+	// Serving layer: generations, subscribers, the staleness SLO.
+	sv := cur.Serving
+	writeMeta(bw, "asi_rib_generation", "gauge", "current RIB generation")
+	writeSample(bw, "asi_rib_generation", "", float64(sv.Gen))
+	writeMeta(bw, "asi_rib_installs_total", "counter", "RIB generations installed")
+	writeSample(bw, "asi_rib_installs_total", "", float64(sv.Installs))
+	writeMeta(bw, "asi_rib_leaves", "gauge", "served leaves in the current generation")
+	writeSample(bw, "asi_rib_leaves", "", float64(sv.Leaves))
+	writeMeta(bw, "asi_rib_subscribers", "gauge", "live subscriptions")
+	writeSample(bw, "asi_rib_subscribers", "", float64(sv.Subscribers))
+	writeMeta(bw, "asi_rib_resyncs_total", "counter", "full-state resyncs forced by subscriber overflow")
+	writeSample(bw, "asi_rib_resyncs_total", "", float64(sv.Resyncs))
+	writeMeta(bw, "asi_rib_deliveries_total", "counter", "batches consumed by subscriber readers")
+	writeSample(bw, "asi_rib_deliveries_total", "", float64(sv.Deliveries))
+	writeMeta(bw, "asi_rib_staleness_generations", "gauge", "subscriber generation-lag percentiles (staleness SLO)")
+	writeSample(bw, "asi_rib_staleness_generations", `quantile="0.5"`, float64(sv.Staleness.P50))
+	writeSample(bw, "asi_rib_staleness_generations", `quantile="0.99"`, float64(sv.Staleness.P99))
+	writeSample(bw, "asi_rib_staleness_generations", `quantile="1"`, float64(sv.Staleness.Max))
+	if sv.DeliverLatency.Count > 0 || len(sv.DeliverLatency.Bounds) > 0 {
+		writeHistogram(bw, "asi_rib_deliver_latency_ns", "install-to-deliver wall latency, nanoseconds", sv.DeliverLatency)
+	}
+}
+
+// writeMeta emits the HELP/TYPE preamble of one metric.
+func writeMeta(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// writeSample emits one sample line.
+func writeSample(w io.Writer, name, labels string, v float64) {
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s%s %s\n", name, labels, formatFloat(v))
+}
+
+// writeHistogram emits the _bucket/_sum/_count exposition of one
+// fixed-bucket histogram snapshot.
+func writeHistogram(w io.Writer, name, help string, h telemetry.HistogramSnap) {
+	writeMeta(w, name, "histogram", help)
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(float64(b)), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(float64(h.Sum)))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+}
+
+// formatFloat renders a sample value the way Prometheus expects.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName converts a telemetry metric name to a Prometheus-legal one:
+// the asi_ namespace prefix plus every non-[a-zA-Z0-9_] rune mapped to
+// '_' ("fm.rtt.port-read" -> "asi_fm_rtt_port_read").
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 4)
+	b.WriteString("asi_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromPoint is one parsed exposition sample.
+type PromPoint struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// ParseProm is a strict-enough parser for the exposition format this
+// package writes (and the subset Prometheus itself accepts): HELP/TYPE
+// comments and name{labels} value samples. It returns every sample plus
+// the declared type per metric name, or an error naming the offending
+// line. The smoke tests and external tooling use it to assert the
+// endpoint stays machine-readable.
+func ParseProm(r io.Reader) (points []PromPoint, types map[string]string, err error) {
+	types = make(map[string]string)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+					types[fields[2]] = fields[3]
+				default:
+					return nil, nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+			}
+			continue
+		}
+		pt, perr := parseSample(line)
+		if perr != nil {
+			return nil, nil, fmt.Errorf("line %d: %w", lineNo, perr)
+		}
+		points = append(points, pt)
+	}
+	return points, types, sc.Err()
+}
+
+// parseSample parses `name{l1="v1",...} value`.
+func parseSample(line string) (PromPoint, error) {
+	pt := PromPoint{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ \t"); i < 0 {
+		return pt, fmt.Errorf("no value in %q", line)
+	} else {
+		pt.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if pt.Name == "" || !validPromName(pt.Name) {
+		return pt, fmt.Errorf("bad metric name in %q", line)
+	}
+	rest = strings.TrimSpace(rest)
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return pt, fmt.Errorf("unterminated labels in %q", line)
+		}
+		for _, kv := range splitLabels(rest[1:end]) {
+			eq := strings.Index(kv, "=")
+			if eq < 0 {
+				return pt, fmt.Errorf("bad label %q", kv)
+			}
+			val := strings.TrimSpace(kv[eq+1:])
+			uq, err := strconv.Unquote(val)
+			if err != nil {
+				return pt, fmt.Errorf("bad label value %q: %v", val, err)
+			}
+			pt.Labels[strings.TrimSpace(kv[:eq])] = uq
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return pt, fmt.Errorf("no value in %q", line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return pt, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	pt.Value = v
+	return pt, nil
+}
+
+// splitLabels splits "a=\"x\",b=\"y\"" on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// parsePromValue accepts the exposition's float syntax.
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// validPromName checks [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validPromName(name string) bool {
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return name != ""
+}

@@ -15,10 +15,13 @@ package rib
 
 import (
 	"encoding/json"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Update ops.
@@ -60,22 +63,45 @@ type Batch struct {
 	Updates     []Update `json:"updates,omitempty"`
 }
 
+// Serving-layer event kinds reported through Config.OnEvent.
+const (
+	// EventOverflow fires when a stalled subscriber's queue overflows
+	// and its backlog is discarded.
+	EventOverflow = "subscriber.overflow"
+	// EventResync fires when the pump replaces a stalled subscriber's
+	// state with a full current-snapshot resync.
+	EventResync = "subscriber.resync"
+)
+
 // Config sizes the RIB.
 type Config struct {
 	// QueueDepth bounds each subscriber's pending-batch queue; a
 	// subscriber that falls further behind is resynced. 0 selects
 	// DefaultQueueDepth.
 	QueueDepth int
+	// OnEvent, when non-nil, observes serving-layer events (EventOverflow,
+	// EventResync) with the generation current when they happened. It is
+	// called from installer and pump goroutines without RIB locks held;
+	// it must be cheap and must not call back into the RIB.
+	OnEvent func(kind string, gen uint64)
 }
 
 // DefaultQueueDepth absorbs normal install bursts; chaos-rate churn
 // against a deliberately stalled reader overflows it in tests.
 const DefaultQueueDepth = 64
 
+// installStampRing bounds the install-time memory the deliver-latency
+// accounting keeps: the wall-clock install instants of the last 256
+// generations, indexed by generation number. Deliveries of generations
+// older than that (a reader 256+ generations behind has long since been
+// resynced) simply skip the latency observation.
+const installStampRing = 256
+
 // RIB is the versioned topology store. One installer side (Install) and
 // any number of reader sides (Current, Subscribe) may run concurrently.
 type RIB struct {
-	depth int
+	depth   int
+	onEvent func(kind string, gen uint64)
 
 	// installMu serializes installers; mu guards the published snapshot
 	// and subscriber set and is held only for pointer swaps and queue
@@ -87,6 +113,37 @@ type RIB struct {
 
 	installs atomic.Uint64
 	resyncs  atomic.Uint64
+
+	// latMu guards the staleness-SLO accounting: the per-generation
+	// install stamps and the install→deliver latency histogram. Both are
+	// touched per delivered batch (pump goroutines) and per install —
+	// cold paths by construction, far from the simulation hot path.
+	latMu      sync.Mutex
+	stamps     [installStampRing]installStamp
+	latReg     *telemetry.Registry
+	latency    *telemetry.Histogram
+	deliveries uint64
+}
+
+// installStamp records when one generation was published.
+type installStamp struct {
+	gen uint64
+	at  time.Time
+}
+
+// MetricDeliverLatency names the install→deliver wall-clock latency
+// histogram: the time from Install publishing a generation to a
+// subscriber's reader actually receiving a batch of that generation.
+const MetricDeliverLatency = "rib.deliver.latency.ns"
+
+// deliverLatencyBounds are the histogram's inclusive upper bounds in
+// nanoseconds: 50µs up to 2.5s, roughly logarithmic. In-process readers
+// sit at the bottom; an HTTP subscriber catching up after an overflow
+// resync can reach the top.
+var deliverLatencyBounds = []int64{
+	50e3, 100e3, 250e3, 500e3,
+	1e6, 2.5e6, 5e6, 10e6, 25e6, 50e6, 100e6, 250e6, 500e6,
+	1e9, 2.5e9,
 }
 
 // New returns an empty RIB at generation 0.
@@ -95,11 +152,15 @@ func New(cfg Config) *RIB {
 	if depth <= 0 {
 		depth = DefaultQueueDepth
 	}
-	return &RIB{
-		depth: depth,
-		cur:   emptySnapshot(),
-		subs:  make(map[*Subscription]struct{}),
+	r := &RIB{
+		depth:   depth,
+		onEvent: cfg.OnEvent,
+		cur:     emptySnapshot(),
+		subs:    make(map[*Subscription]struct{}),
+		latReg:  telemetry.New(),
 	}
+	r.latency = r.latReg.Histogram(MetricDeliverLatency, "ns", deliverLatencyBounds)
+	return r
 }
 
 // Install publishes a new generation built from the discovery database.
@@ -123,14 +184,39 @@ func (r *RIB) Install(db *core.DB) (uint64, core.Diff) {
 		Updates:     next.diff(prev),
 	}
 
+	r.latMu.Lock()
+	r.stamps[next.Gen%installStampRing] = installStamp{gen: next.Gen, at: time.Now()}
+	r.latMu.Unlock()
+
+	overflows := 0
 	r.mu.Lock()
 	r.cur = next
 	for s := range r.subs {
-		s.offer(batch)
+		if s.offer(batch) {
+			overflows++
+		}
 	}
 	r.mu.Unlock()
 	r.installs.Add(1)
+	if r.onEvent != nil {
+		for i := 0; i < overflows; i++ {
+			r.onEvent(EventOverflow, next.Gen)
+		}
+	}
 	return next.Gen, d
+}
+
+// observeDelivery folds one delivered batch into the staleness-SLO
+// accounting: the install→deliver wall latency of the batch's
+// generation, when its install stamp is still in the ring.
+func (r *RIB) observeDelivery(gen uint64) {
+	now := time.Now()
+	r.latMu.Lock()
+	defer r.latMu.Unlock()
+	r.deliveries++
+	if st := r.stamps[gen%installStampRing]; st.gen == gen && !st.at.IsZero() {
+		r.latency.Observe(now.Sub(st.at).Nanoseconds())
+	}
 }
 
 // Current returns the latest published snapshot. Snapshots are immutable;
@@ -165,6 +251,21 @@ func (r *RIB) Subscribe(prefix string) *Subscription {
 	return s
 }
 
+// Staleness is the serving layer's freshness SLO view: how far behind
+// the current generation the live subscribers' *delivered* state sits.
+// Lag is measured in generations — a subscriber whose reader has
+// consumed the latest batch lags 0; one that has not yet consumed its
+// initial sync lags the full current generation.
+type Staleness struct {
+	// Subscribers is the population the percentiles are computed over.
+	Subscribers int `json:"subscribers"`
+	// P50, P99 and Max are generation-lag percentiles across the live
+	// subscribers (nearest-rank).
+	P50 uint64 `json:"p50"`
+	P99 uint64 `json:"p99"`
+	Max uint64 `json:"max"`
+}
+
 // Stats is a point-in-time view of the serving layer.
 type Stats struct {
 	// Gen is the current generation, Installs the number of installs
@@ -177,23 +278,80 @@ type Stats struct {
 	// full-state retransmissions forced by subscriber queue overflows.
 	Subscribers int    `json:"subscribers"`
 	Resyncs     uint64 `json:"resyncs"`
+	// Deliveries counts batches actually consumed by readers.
+	Deliveries uint64 `json:"deliveries"`
+	// Staleness is the generation-lag SLO across live subscribers.
+	Staleness Staleness `json:"staleness"`
+	// DeliverLatency is the install→deliver wall-latency histogram
+	// (nanoseconds); DeliverP50NS / DeliverP99NS are its interpolated
+	// quantiles.
+	DeliverLatency telemetry.HistogramSnap `json:"deliver_latency"`
+	DeliverP50NS   float64                 `json:"deliver_p50_ns"`
+	DeliverP99NS   float64                 `json:"deliver_p99_ns"`
 	// Fingerprint is the current generation's topology fingerprint, hex.
 	Fingerprint string `json:"fingerprint"`
 }
 
-// Stats snapshots the serving-layer counters.
+// Stats snapshots the serving-layer counters, including the staleness
+// SLO percentiles across the live subscriber set. Safe to call
+// concurrently with installs and deliveries.
 func (r *RIB) Stats() Stats {
 	r.mu.Lock()
-	cur, subs := r.cur, len(r.subs)
+	cur := r.cur
+	lags := make([]uint64, 0, len(r.subs))
+	for s := range r.subs {
+		d := s.delivered.Load()
+		if d > cur.Gen {
+			// The subscriber consumed a batch published after cur was
+			// read; it is as fresh as it gets.
+			d = cur.Gen
+		}
+		lags = append(lags, cur.Gen-d)
+	}
 	r.mu.Unlock()
-	return Stats{
+
+	st := Stats{
 		Gen:         cur.Gen,
 		Installs:    r.installs.Load(),
 		Leaves:      cur.NumLeaves(),
-		Subscribers: subs,
+		Subscribers: len(lags),
 		Resyncs:     r.resyncs.Load(),
 		Fingerprint: fpHex(cur.Fingerprint),
+		Staleness:   lagPercentiles(lags),
 	}
+	r.latMu.Lock()
+	st.Deliveries = r.deliveries
+	snap := r.latReg.Snapshot()
+	r.latMu.Unlock()
+	if h, ok := snap.Histogram(MetricDeliverLatency); ok {
+		st.DeliverLatency = h
+		st.DeliverP50NS = h.Quantile(0.50)
+		st.DeliverP99NS = h.Quantile(0.99)
+	}
+	return st
+}
+
+// lagPercentiles computes the nearest-rank staleness percentiles.
+func lagPercentiles(lags []uint64) Staleness {
+	st := Staleness{Subscribers: len(lags)}
+	if len(lags) == 0 {
+		return st
+	}
+	sort.Slice(lags, func(i, j int) bool { return lags[i] < lags[j] })
+	rank := func(q float64) uint64 {
+		i := int(q*float64(len(lags))+0.5) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lags) {
+			i = len(lags) - 1
+		}
+		return lags[i]
+	}
+	st.P50 = rank(0.50)
+	st.P99 = rank(0.99)
+	st.Max = lags[len(lags)-1]
+	return st
 }
 
 // unsubscribe removes a closed subscription from the fanout set.

@@ -17,12 +17,25 @@ import (
 //	GET /healthz                    liveness + current generation
 //
 // Streams are flushed per batch and end when the client disconnects.
+// Additional handlers (the observability plane's /metrics, /events and
+// /obs.json) mount onto the same mux through Handle.
 type Server struct {
-	rib *RIB
+	rib   *RIB
+	extra map[string]http.Handler
 }
 
 // NewServer wraps a RIB for HTTP serving.
 func NewServer(r *RIB) *Server { return &Server{rib: r} }
+
+// Handle mounts an extra handler on the server's mux under the given
+// ServeMux pattern (e.g. "GET /metrics"). Call before Handler; later
+// calls with the same pattern replace the handler.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	if s.extra == nil {
+		s.extra = make(map[string]http.Handler)
+	}
+	s.extra[pattern] = h
+}
 
 // Handler returns the route mux.
 func (s *Server) Handler() http.Handler {
@@ -31,6 +44,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /snapshot", s.snapshot)
 	mux.HandleFunc("GET /stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	for pattern, h := range s.extra {
+		mux.Handle(pattern, h)
+	}
 	return mux
 }
 

@@ -1,6 +1,9 @@
 package rib
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Subscription is one streaming reader of the RIB. The installer side
 // appends published batches to a bounded queue (offer, bounded work,
@@ -13,6 +16,11 @@ import "sync"
 type Subscription struct {
 	rib    *RIB
 	prefix string
+
+	// delivered is the generation of the last batch the reader actually
+	// consumed — the per-subscriber freshness the staleness SLO is
+	// computed from (RIB.Stats reads it concurrently).
+	delivered atomic.Uint64
 
 	mu       sync.Mutex
 	queue    []Batch
@@ -47,18 +55,21 @@ func (s *Subscription) Close() {
 }
 
 // offer appends one published batch, called by Install with rib.mu held.
-// Bounded work: append or drop, one channel poke, no waiting.
-func (s *Subscription) offer(b Batch) {
+// Bounded work: append or drop, one channel poke, no waiting. The
+// returned flag reports a queue overflow (Install fires the OnEvent hook
+// for it after releasing the RIB lock).
+func (s *Subscription) offer(b Batch) (overflowed bool) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return
+		return false
 	}
 	if len(s.queue) >= s.rib.depth {
 		// The reader is stalled. Drop the whole backlog — the resync
 		// that replaces it carries the full state anyway.
 		s.queue = nil
 		s.overflow = true
+		overflowed = true
 	} else {
 		s.queue = append(s.queue, b)
 	}
@@ -67,6 +78,7 @@ func (s *Subscription) offer(b Batch) {
 	case s.notify <- struct{}{}:
 	default:
 	}
+	return overflowed
 }
 
 // pump drains the queue onto the out channel. It keeps the delivered
@@ -86,6 +98,9 @@ func (s *Subscription) pump() {
 			s.rib.resyncs.Add(1)
 			b := s.rib.Current().sync(ResyncBatch, s.prefix)
 			last = b.Gen
+			if s.rib.onEvent != nil {
+				s.rib.onEvent(EventResync, b.Gen)
+			}
 			if !s.deliver(b) {
 				return
 			}
@@ -114,10 +129,14 @@ func (s *Subscription) pump() {
 }
 
 // deliver blocks on the reader (only the pump ever does) until the batch
-// is consumed or the subscription closes; false means stop pumping.
+// is consumed or the subscription closes; false means stop pumping. A
+// consumed batch advances the subscriber's delivered generation and
+// feeds the install→deliver latency histogram.
 func (s *Subscription) deliver(b Batch) bool {
 	select {
 	case s.out <- b:
+		s.delivered.Store(b.Gen)
+		s.rib.observeDelivery(b.Gen)
 		return true
 	case <-s.done:
 		return false

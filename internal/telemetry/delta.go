@@ -1,0 +1,146 @@
+package telemetry
+
+// Windowed views over snapshots. The continuous observability plane
+// (internal/obs) scrapes a registry periodically and derives per-window
+// statistics by diffing successive snapshots: counter deltas become
+// rates, histogram-count deltas become windowed distributions whose
+// quantiles are estimated by linear interpolation over the fixed
+// buckets. All of this is cold-path arithmetic over already-frozen
+// snapshots; the live registry is never touched.
+
+// Delta returns the change from prev to s, metric by metric (matched by
+// name):
+//
+//   - Counters and vector slots subtract; a counter that went backwards
+//     (a registry reset) clamps to its current value, as a Prometheus
+//     rate window would.
+//   - Gauges keep s's instantaneous value — a gauge trajectory is a
+//     sequence of levels, not of differences.
+//   - Histograms subtract bucket counts, total count and sum. Min and
+//     Max are zeroed: extrema are not derivable for a window from
+//     cumulative extrema, and Quantile must not trust them on a delta.
+//
+// Metrics absent from prev pass through unchanged (they were registered
+// inside the window); metrics absent from s are dropped.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	var d Snapshot
+
+	prevC := make(map[string]uint64, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevC[c.Name] = c.Value
+	}
+	for _, c := range s.Counters {
+		v := c.Value
+		if old, ok := prevC[c.Name]; ok && old <= v {
+			v -= old
+		}
+		d.Counters = append(d.Counters, CounterSnap{Name: c.Name, Value: v})
+	}
+
+	d.Gauges = append(d.Gauges, s.Gauges...)
+
+	type slot struct {
+		name string
+		idx  int
+	}
+	prevV := make(map[slot]uint64, len(prev.Vectors))
+	for _, v := range prev.Vectors {
+		prevV[slot{v.Name, v.Index}] = v.Value
+	}
+	for _, v := range s.Vectors {
+		val := v.Value
+		if old, ok := prevV[slot{v.Name, v.Index}]; ok && old <= val {
+			val -= old
+		}
+		if val != 0 {
+			d.Vectors = append(d.Vectors, VecSnap{Name: v.Name, Index: v.Index, Value: val})
+		}
+	}
+
+	prevH := make(map[string]HistogramSnap, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevH[h.Name] = h
+	}
+	for _, h := range s.Histograms {
+		dh := HistogramSnap{
+			Name:   h.Name,
+			Unit:   h.Unit,
+			Count:  h.Count,
+			Sum:    h.Sum,
+			Bounds: h.Bounds,
+			Counts: append([]uint64(nil), h.Counts...),
+		}
+		if old, ok := prevH[h.Name]; ok && old.Count <= h.Count && len(old.Counts) == len(h.Counts) {
+			dh.Count -= old.Count
+			dh.Sum -= old.Sum
+			for i := range dh.Counts {
+				if old.Counts[i] <= dh.Counts[i] {
+					dh.Counts[i] -= old.Counts[i]
+				}
+			}
+		}
+		d.Histograms = append(d.Histograms, dh)
+	}
+	return d
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the histogram by
+// linear interpolation inside the bucket holding the target rank: the
+// first bucket interpolates from zero (all observed quantities in this
+// repository are non-negative), interior buckets between their bounds,
+// and the overflow bucket between the last bound and Max when Max is
+// trustworthy (cumulative snapshots), or collapses to the last bound on
+// windowed deltas where Max is zeroed. An empty histogram estimates 0.
+// This is the same estimator Prometheus's histogram_quantile applies to
+// fixed-bucket data; its error is bounded by the bucket width.
+func (h HistogramSnap) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank > next {
+			cum = next
+			continue
+		}
+		frac := (rank - cum) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		lo, hi := 0.0, 0.0
+		switch {
+		case i < len(h.Bounds):
+			hi = float64(h.Bounds[i])
+			if i > 0 {
+				lo = float64(h.Bounds[i-1])
+			}
+		default: // overflow bucket
+			lo = float64(h.Bounds[len(h.Bounds)-1])
+			hi = lo
+			if m := float64(h.Max); m > lo {
+				hi = m
+			}
+		}
+		return lo + frac*(hi-lo)
+	}
+	// Rank beyond the last non-empty bucket (rounding): the maximum
+	// known edge.
+	if m := float64(h.Max); m > 0 {
+		return m
+	}
+	if len(h.Bounds) > 0 {
+		return float64(h.Bounds[len(h.Bounds)-1])
+	}
+	return 0
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSnapshotDelta(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	v := r.CounterVec("v", 4)
+	h := r.Histogram("h", "ps", []int64{10, 100})
+
+	c.Add(5)
+	g.Set(7)
+	v.Add(1, 3)
+	h.Observe(4)
+	h.Observe(40)
+	prev := r.Snapshot()
+
+	c.Add(10)
+	g.Set(2)
+	v.Add(1, 1)
+	v.Inc(3)
+	h.Observe(50)
+	h.Observe(400)
+	cur := r.Snapshot()
+
+	d := cur.Delta(prev)
+	if got, _ := d.Counter("c"); got != 10 {
+		t.Errorf("counter delta %d, want 10", got)
+	}
+	if got, _ := d.Gauge("g"); got != 2 {
+		t.Errorf("gauge in delta %d, want instantaneous 2", got)
+	}
+	vecs := d.Vector("v")
+	if len(vecs) != 2 || vecs[0].Index != 1 || vecs[0].Value != 1 || vecs[1].Index != 3 || vecs[1].Value != 1 {
+		t.Errorf("vector delta %+v", vecs)
+	}
+	dh, ok := d.Histogram("h")
+	if !ok || dh.Count != 2 || dh.Sum != 450 {
+		t.Errorf("histogram delta count %d sum %d", dh.Count, dh.Sum)
+	}
+	if dh.Min != 0 || dh.Max != 0 {
+		t.Errorf("windowed histogram extrema not zeroed: min %d max %d", dh.Min, dh.Max)
+	}
+	want := []uint64{0, 1, 1}
+	for i, c := range dh.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d delta %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestSnapshotDeltaResetClamps(t *testing.T) {
+	r := New()
+	r.Counter("c").Add(100)
+	prev := r.Snapshot()
+	r.Reset()
+	r.Counter("c").Add(3)
+	d := r.Snapshot().Delta(prev)
+	if got, _ := d.Counter("c"); got != 3 {
+		t.Errorf("reset counter delta %d, want clamp to 3", got)
+	}
+}
+
+func TestSnapshotDeltaNewMetricPassesThrough(t *testing.T) {
+	r := New()
+	prev := r.Snapshot()
+	r.Counter("fresh").Add(9)
+	d := r.Snapshot().Delta(prev)
+	if got, ok := d.Counter("fresh"); !ok || got != 9 {
+		t.Errorf("fresh counter delta %d ok=%v, want 9", got, ok)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	// 100 observations uniform in one bucket (10,100]: interpolation
+	// should land proportionally between the bounds.
+	h := HistogramSnap{
+		Count:  100,
+		Bounds: []int64{10, 100},
+		Counts: []uint64{0, 100, 0},
+	}
+	if got := h.Quantile(0.5); math.Abs(got-55) > 1e-9 {
+		t.Errorf("p50 %v, want 55", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-100) > 1e-9 {
+		t.Errorf("p100 %v, want 100", got)
+	}
+
+	// First bucket interpolates from zero.
+	h = HistogramSnap{Count: 10, Bounds: []int64{8}, Counts: []uint64{10, 0}}
+	if got := h.Quantile(0.5); math.Abs(got-4) > 1e-9 {
+		t.Errorf("first-bucket p50 %v, want 4", got)
+	}
+
+	// Overflow bucket with a trustworthy Max interpolates toward it;
+	// without one (windowed delta) it collapses to the last bound.
+	h = HistogramSnap{Count: 4, Max: 300, Bounds: []int64{100}, Counts: []uint64{0, 4}}
+	if got := h.Quantile(0.5); math.Abs(got-200) > 1e-9 {
+		t.Errorf("overflow p50 with max %v, want 200", got)
+	}
+	h.Max = 0
+	if got := h.Quantile(0.99); math.Abs(got-100) > 1e-9 {
+		t.Errorf("overflow p99 without max %v, want 100", got)
+	}
+
+	// Empty and degenerate cases stay finite.
+	if got := (HistogramSnap{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile %v", got)
+	}
+	mixed := HistogramSnap{Count: 3, Bounds: []int64{10, 20}, Counts: []uint64{1, 1, 1}, Max: 25}
+	for _, q := range []float64{-1, 0, 0.25, 0.5, 0.75, 0.99, 1, 2} {
+		got := mixed.Quantile(q)
+		if math.IsNaN(got) || math.IsInf(got, 0) || got < 0 || got > 25 {
+			t.Errorf("q=%v -> %v out of range", q, got)
+		}
+	}
+}
+
+func TestCounterSetTotalAndVecSet(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.SetTotal(42)
+	c.SetTotal(50)
+	if c.Value() != 50 {
+		t.Errorf("SetTotal value %d, want 50", c.Value())
+	}
+	v := r.CounterVec("v", 2)
+	v.Set(1, 9)
+	v.Set(1, 11)
+	if v.Value(1) != 11 {
+		t.Errorf("vec Set value %d, want 11", v.Value(1))
+	}
+	v.Set(5, 1) // out of range: ignored
+	var nilC *Counter
+	nilC.SetTotal(1)
+	var nilV *CounterVec
+	nilV.Set(0, 1)
+}

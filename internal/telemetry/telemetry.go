@@ -176,6 +176,18 @@ func (c *Counter) Value() uint64 {
 	return c.v
 }
 
+// SetTotal overwrites the count with an externally-accumulated total.
+// Publishers that already keep their own cumulative tally (the engine's
+// Processed count, a shard group's round counters) republish it on every
+// scrape with SetTotal, so repeated publication does not double-count
+// the way Add would. The counter stays semantically monotonic as long as
+// the source total is.
+func (c *Counter) SetTotal(v uint64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
 // Gauge is an instantaneous level, e.g. a queue depth high-water mark.
 // Nil gauges ignore every operation.
 type Gauge struct {
@@ -234,6 +246,14 @@ func (v *CounterVec) Inc(i int) {
 func (v *CounterVec) Add(i int, n uint64) {
 	if v != nil && i >= 0 && i < len(v.vals) {
 		v.vals[i] += n
+	}
+}
+
+// Set overwrites slot i with an externally-accumulated total; see
+// Counter.SetTotal.
+func (v *CounterVec) Set(i int, n uint64) {
+	if v != nil && i >= 0 && i < len(v.vals) {
+		v.vals[i] = n
 	}
 }
 
