@@ -9,7 +9,8 @@
 #                   parallel-path identity smoke, FM-daemon serving-layer
 #                   smoke (1000-subscriber replay identity), observability
 #                   plane smoke (Prometheus /metrics + staleness SLO),
-#                   benchmark regression diff against BENCH_sim.json
+#                   continuous-assimilation smoke (keeper-driven coalesced
+#                   churn), benchmark regression diff against BENCH_sim.json
 #   make race     - go test -race ./...
 #   make fuzz     - bounded native-fuzzing burst on the chaos harness
 #   make bench    - figure + engine benchmarks -> BENCH_sim.json
@@ -25,7 +26,7 @@ BENCHTIME ?= 3x
 BENCHCOUNT ?= 5
 BENCH_BASELINE ?= results/bench_baseline.txt
 
-.PHONY: all build vet test race verify bench bench-smoke bench-diff fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke obs-smoke fuzz
+.PHONY: all build vet test race verify bench bench-smoke bench-diff fmt-check json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke obs-smoke assim-smoke fuzz
 
 all: build vet test
 
@@ -93,6 +94,7 @@ FUZZTIME ?= 20s
 fuzz:
 	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzGenerated$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/chaos -run '^$$' -fuzz '^FuzzCoalesce$$' -fuzztime $(FUZZTIME)
 
 # par-smoke proves the region-sharded parallel simulation path: one
 # scenario per topology family (torus, fat-tree, dragonfly, autofat) at
@@ -117,6 +119,14 @@ daemon-smoke:
 obs-smoke:
 	$(GO) test -run 'TestObsSmoke' -count=1 ./cmd/asifmd/
 
+# assim-smoke proves the continuous-assimilation engine end to end: 12
+# keeper-driven churn rounds against the coalescing partial FM must
+# converge to ground truth at quiescence, leave nothing stranded in the
+# debounce window, and publish the fm.assim.* counters plus the
+# DB-staleness gauges over /metrics.
+assim-smoke:
+	$(GO) run ./cmd/asifmd -assim-smoke 12
+
 # bench-diff re-runs the benchmark suite and gates it against the
 # committed BENCH_sim.json: an allocs/op increase beyond max(2, 0.1%)
 # rounding/GC slack fails; ns/op may regress at most 10% plus the noise
@@ -127,7 +137,7 @@ bench-diff:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \
 		| $(GO) run ./cmd/benchjson -diff BENCH_sim.json
 
-verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke obs-smoke bench-diff
+verify: fmt-check build vet test race bench-smoke json-smoke span-smoke alloc-check chaos-smoke chaos-par-smoke par-smoke daemon-smoke obs-smoke assim-smoke bench-diff
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -count $(BENCHCOUNT) . ./internal/sim \

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/core"
+	"repro/internal/experiment"
+)
+
+// TestKeeperRaceSharded drives the keeper loop on a 4-region sharded
+// daemon with the coalescing partial FM while the observability scraper,
+// HTTP metric readers and a RIB subscriber run concurrently — the
+// configuration `go test -race ./cmd/asifmd` checks for data races
+// between the keeper's concerns (churn, staleness-keyed re-audit, cursor
+// expiry, debounce flush) and every reader path.
+func TestKeeperRaceSharded(t *testing.T) {
+	cfg := experiment.DefaultDaemonConfig()
+	cfg.Topology = "8x8 mesh"
+	cfg.Algorithm = core.Partial.Slug()
+	cfg.Regions = 4
+	cfg.ChurnOps = 2
+	cfg.AuditEvery = 2
+	cfg.AssimWindowUS = 200
+	cfg.StaleAfterMS = 1
+	d, err := newDaemon(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(d.handler())
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// The scraper goroutine, exactly as serve() runs it.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				d.scrape()
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// An HTTP reader hitting the exposition and the dashboard.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, path := range []string{"/metrics", "/obs.json", "/stats"} {
+					if resp, err := http.Get(ts.URL + path); err == nil {
+						resp.Body.Close()
+					}
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// A consuming RIB subscriber replaying the diff stream.
+	sub := d.rib.Subscribe("/")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for range sub.Updates() {
+		}
+	}()
+
+	// The keeper on its synthetic clock: jumping straight to each next
+	// deadline fires every concern at its own cadence.
+	now := time.Now()
+	k := d.newKeeper(now, 50*time.Millisecond, true)
+	for d.rounds < 6 {
+		now = k.Once(now)
+	}
+
+	close(stop)
+	sub.Close()
+	wg.Wait()
+
+	// Restore and verify: after quiesce the audited database must match
+	// the live ground truth.
+	d.mu.Lock()
+	keeperAudited := d.lastAudit
+	d.quiesce()
+	pending := d.m.AssimPending()
+	res, ok := d.m.LastResult()
+	d.mu.Unlock()
+	if pending != 0 {
+		t.Errorf("%d reports stranded in the debounce window", pending)
+	}
+	if !ok {
+		t.Fatal("no discovery run completed")
+	}
+	if err := chaos.CheckConverged(d.f, d.m, res); err != nil {
+		t.Fatal(err)
+	}
+	if keeperAudited == 0 {
+		t.Error("keeper never audited (audit_every = 2 over 6 rounds)")
+	}
+}

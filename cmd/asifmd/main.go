@@ -16,6 +16,7 @@
 //	asifmd -regions 4                        # region-sharded simulation
 //	asifmd -debug :6060                      # net/http/pprof + expvar
 //	asifmd -smoke 1000 -rounds 6             # verification mode (see below)
+//	asifmd -assim-smoke 12                   # continuous-assimilation check
 //
 // Observe with any HTTP client:
 //
@@ -31,6 +32,12 @@
 // byte-identical to the live snapshot and fingerprint-identical to the
 // FM's database. It exits non-zero on any mismatch — `make daemon-smoke`
 // is this mode.
+//
+// Assim-smoke mode (-assim-smoke N) forces the partial algorithm with
+// the coalescing front-end and drives N keeper-driven churn rounds on a
+// synthetic clock, then verifies ground-truth convergence, the
+// /metrics assimilation counters and the DB-staleness gauges — `make
+// assim-smoke` is this mode.
 package main
 
 import (
@@ -75,6 +82,7 @@ func main() {
 	interval := flag.Duration("interval", time.Second, "wall-clock pause between churn rounds (serve mode)")
 	debugAddr := flag.String("debug", "", "serve net/http/pprof and expvar on this address (e.g. :6060)")
 	smoke := flag.Int("smoke", 0, "smoke mode: N concurrent in-process subscribers, verify replay, exit")
+	assimSmoke := flag.Int("assim-smoke", 0, "assimilation smoke mode: N keeper-driven churn rounds against the coalescing partial FM, verify convergence and metrics, exit")
 	flag.Parse()
 	if err := common.Validate(); err != nil {
 		fatal(2, err)
@@ -110,6 +118,17 @@ func main() {
 			cfg.Regions = common.Regions
 		}
 	})
+	if *assimSmoke > 0 {
+		// The mode verifies the coalescing partial path; force it on
+		// unless the config already selected it.
+		cfg.Algorithm = core.Partial.Slug()
+		if cfg.AssimWindowUS == 0 {
+			cfg.AssimWindowUS = 200
+		}
+		if cfg.StaleAfterMS == 0 {
+			cfg.StaleAfterMS = 5
+		}
+	}
 	if err := cfg.Validate(); err != nil {
 		fatal(2, err)
 	}
@@ -133,6 +152,12 @@ func main() {
 		fatal(1, err)
 	}
 
+	if *assimSmoke > 0 {
+		if err := d.runAssimSmoke(*assimSmoke, common.JSON); err != nil {
+			fatal(1, err)
+		}
+		return
+	}
 	if *smoke > 0 {
 		if err := d.runSmoke(*smoke, common.JSON); err != nil {
 			fatal(1, err)
@@ -169,9 +194,10 @@ type daemon struct {
 
 	// simNow mirrors the simulation clock (picoseconds) for hooks that
 	// fire off the simulation goroutine (RIB overflow/resync events).
-	simNow   atomic.Int64
-	installs int
-	rounds   int
+	simNow    atomic.Int64
+	installs  int
+	rounds    int
+	lastAudit int // rounds value at the most recent audit
 }
 
 func newDaemon(cfg experiment.DaemonConfig) (*daemon, error) {
@@ -214,7 +240,12 @@ func newDaemon(cfg experiment.DaemonConfig) (*daemon, error) {
 		d.f.EnableTelemetry(d.reg)
 	}
 	ep := d.f.Device(tp.Endpoints()[0])
-	d.m = core.NewManager(d.f, ep, core.Options{Algorithm: cfg.Kind(), Telemetry: d.reg})
+	mopt := core.Options{Algorithm: cfg.Kind(), Telemetry: d.reg}
+	if cfg.AssimWindowUS > 0 {
+		mopt.AssimWindow = sim.Micros(float64(cfg.AssimWindowUS))
+		mopt.AssimBatchMax = cfg.AssimBatchMax
+	}
+	d.m = core.NewManager(d.f, ep, mopt)
 	d.m.OnDiscoveryComplete = func(r core.Result) {
 		// The install is the cold-path bridge from simulation to serving:
 		// clone the FM database, stamp a generation, fan out diffs.
@@ -275,8 +306,8 @@ func (d *daemon) bootstrap() error {
 }
 
 // round applies one churn round and drains the simulation back to
-// quiescence; PI-5 driven assimilation installs along the way. Callers
-// in serve mode hold d.mu.
+// quiescence; PI-5 driven assimilation installs along the way. Audits
+// are the keeper's re-audit concern, not the round's. Callers hold d.mu.
 func (d *daemon) round() {
 	d.rounds++
 	base := d.now()
@@ -284,9 +315,6 @@ func (d *daemon) round() {
 	d.plane.Log(obs.EventChurnApply, d.rib.Current().Gen, int64(base),
 		fmt.Sprintf("round %d: %d toggles", d.rounds, len(evs)))
 	d.applyChurn(base, evs)
-	if n := d.cfg.AuditEvery; n > 0 && d.rounds%n == 0 {
-		d.audit()
-	}
 }
 
 // applyChurn injects the round's toggles and drains to quiescence. On
@@ -318,12 +346,13 @@ func (d *daemon) applyChurn(base sim.Time, evs []chaos.Event) {
 }
 
 // audit forces a full rediscovery (one more generation, even when the
-// topology is unchanged).
-func (d *daemon) audit() {
-	d.plane.Log(obs.EventAudit, d.rib.Current().Gen, int64(d.now()), "forced rediscovery")
+// topology is unchanged); detail names what triggered it.
+func (d *daemon) audit(detail string) {
+	d.plane.Log(obs.EventAudit, d.rib.Current().Gen, int64(d.now()), detail)
 	d.plane.Log(obs.EventDiscoveryStart, d.rib.Current().Gen, int64(d.now()), "audit")
 	d.m.StartDiscovery()
 	d.run()
+	d.lastAudit = d.rounds
 }
 
 // quiesce restores every churned-down switch and audits, making the
@@ -338,7 +367,7 @@ func (d *daemon) quiesce() {
 		evs[i].Op = chaos.OpUp
 	}
 	d.applyChurn(base, evs)
-	d.audit()
+	d.audit("quiesce rediscovery")
 }
 
 // scrape publishes the engine/shard totals into the registry and stores
@@ -354,6 +383,9 @@ func (d *daemon) scrape() {
 	// The flap tally lives on the fabric; republishing the total keeps
 	// repeated scrapes from double-counting.
 	d.reg.Counter(fabric.MetricLinkFlaps).SetTotal(d.f.Counters().LinkFlaps)
+	// Refresh the per-node DB-staleness percentile gauges at scrape time:
+	// they age with the simulation clock, not with churn.
+	d.m.RecordDBStaleness()
 	snap := d.reg.Snapshot()
 	simPS := int64(d.now())
 	d.mu.Unlock()
@@ -386,8 +418,9 @@ func (d *daemon) scrapeEvery() time.Duration {
 }
 
 // serve streams forever (or for cfg.Rounds rounds): HTTP on cfg.Listen,
-// churn rounds paced by interval on this goroutine, scrapes paced by
-// cfg.ScrapeMS on their own.
+// steady-state duties driven by the keeper on this goroutine (churn
+// paced by interval; re-audit, cursor expiry and debounce flush on their
+// own deadlines), scrapes paced by cfg.ScrapeMS on their own.
 func (d *daemon) serve(interval time.Duration) {
 	ln, err := net.Listen("tcp", d.cfg.Listen)
 	if err != nil {
@@ -406,24 +439,20 @@ func (d *daemon) serve(interval time.Duration) {
 		}
 	}()
 
-	for d.ch != nil && (d.cfg.Rounds == 0 || d.rounds < d.cfg.Rounds) {
-		time.Sleep(interval)
-		d.mu.Lock()
-		d.round()
-		d.mu.Unlock()
-		s := d.rib.Stats()
-		fmt.Fprintf(os.Stderr, "asifmd: round %d gen %d leaves %d subscribers %d down %d lag(p99) %d\n",
-			d.rounds, s.Gen, s.Leaves, s.Subscribers, d.ch.Down(), s.Staleness.P99)
-	}
 	if d.ch == nil {
 		fmt.Fprintln(os.Stderr, "asifmd: churn disabled; serving the initial discovery")
-	} else {
-		d.mu.Lock()
-		d.quiesce()
-		d.mu.Unlock()
-		fmt.Fprintf(os.Stderr, "asifmd: %d rounds done, fabric quiesced at gen %d; still serving\n",
-			d.rounds, d.rib.Current().Gen)
+		select {} // serve until the process is stopped
 	}
+	k := d.newKeeper(time.Now(), interval, false)
+	for d.cfg.Rounds == 0 || d.rounds < d.cfg.Rounds {
+		next := k.Once(time.Now())
+		time.Sleep(time.Until(next))
+	}
+	d.mu.Lock()
+	d.quiesce()
+	d.mu.Unlock()
+	fmt.Fprintf(os.Stderr, "asifmd: %d rounds done, fabric quiesced at gen %d; still serving\n",
+		d.rounds, d.rib.Current().Gen)
 	select {} // serve until the process is stopped
 }
 
@@ -562,7 +591,7 @@ func (d *daemon) runSmoke(subscribers int, jsonOut bool) error {
 	finalGen := d.rib.Current().Gen + 1
 	targetGen.Store(finalGen)
 	d.mu.Lock()
-	d.audit()
+	d.audit("smoke finish line")
 	d.mu.Unlock()
 	expectedOnce.Do(func() {
 		cur := d.rib.Current()

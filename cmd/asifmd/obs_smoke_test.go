@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/experiment"
 	"repro/internal/obs"
@@ -68,14 +69,15 @@ func TestObsSmoke(t *testing.T) {
 	stalled := d.rib.Subscribe("/")
 	defer stalled.Close()
 
-	// First scrape, churn, second scrape: the window between them makes
-	// the rates non-degenerate.
+	// First scrape, keeper-driven churn, second scrape: the window
+	// between them makes the rates non-degenerate, and the re-audit
+	// concern (audit_every = 2) fires along the way.
 	d.scrape()
 	first, _ := scrapeMetrics(t, ts.URL)
-	for i := 0; i < 3; i++ {
-		d.mu.Lock()
-		d.round()
-		d.mu.Unlock()
+	now := time.Now()
+	k := d.newKeeper(now, 100*time.Millisecond, true)
+	for d.rounds < 3 {
+		now = k.Once(now)
 	}
 	d.scrape()
 	second, types := scrapeMetrics(t, ts.URL)

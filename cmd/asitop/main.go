@@ -128,6 +128,7 @@ func render(doc *obs.DashDoc, hist map[string][]float64, url string) string {
 		fmt.Fprintf(&b, "deliver   p50 %-10s p99 %-10s (%d observations)\n",
 			time.Duration(sv.DeliverP50NS), time.Duration(sv.DeliverP99NS), sv.DeliverLatency.Count)
 	}
+	assimBlock(&b, doc)
 
 	if len(doc.Regions) > 0 {
 		b.WriteString("\nregions   ")
@@ -166,6 +167,47 @@ func render(doc *obs.DashDoc, hist map[string][]float64, url string) string {
 		}
 	}
 	return b.String()
+}
+
+// assimBlock renders the continuous-assimilation view when the daemon
+// runs the coalescing partial FM: the per-node DB-staleness percentile
+// gauges (published every scrape for any algorithm) and, when PI-5s
+// flowed in the window, the sustained assimilation rates with the
+// batch-size percentiles.
+func assimBlock(b *strings.Builder, doc *obs.DashDoc) {
+	gauge := func(name string) (int64, bool) {
+		for _, g := range doc.Gauges {
+			if g.Name == name {
+				return g.Value, true
+			}
+		}
+		return 0, false
+	}
+	rate := func(name string) float64 {
+		for _, r := range doc.Rates {
+			if r.Name == name {
+				return r.PerSec
+			}
+		}
+		return 0
+	}
+	if max, ok := gauge("fm.db.staleness.max"); ok {
+		p50, _ := gauge("fm.db.staleness.p50")
+		p99, _ := gauge("fm.db.staleness.p99")
+		fmt.Fprintf(b, "db-stale  p50 %-10s p99 %-10s max %-10s (per-node last-validated age, sim)\n",
+			sim.Duration(p50), sim.Duration(p99), sim.Duration(max))
+	}
+	if ev := rate("fm.assim.events"); ev > 0 {
+		line := fmt.Sprintf("assim     %.1f PI-5/s assimilated   %.1f/s coalesced   %.1f flushes/s",
+			ev, rate("fm.assim.events.coalesced"), rate("fm.assim.flushes"))
+		for _, q := range doc.Quantiles {
+			if q.Name == "fm.assim.batch.size" {
+				line += fmt.Sprintf("   batch p50 %.0f p99 %.0f", q.P50, q.P99)
+				break
+			}
+		}
+		b.WriteString(line + "\n")
+	}
 }
 
 // quantity formats a histogram quantile in its unit ("ps" and "ns" get

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// frameDoc is a synthetic dashboard document with the assimilation
+// series a coalescing asifmd publishes.
+func frameDoc() *obs.DashDoc {
+	return &obs.DashDoc{
+		Wall:      time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC),
+		WindowSec: 2,
+		SimPS:     int64(3 * sim.Millisecond),
+		Gen:       9,
+		Scrapes:   4,
+		Rates: []obs.Rate{
+			{Name: "fm.assim.events", PerSec: 120.5},
+			{Name: "fm.assim.events.coalesced", PerSec: 110.25},
+			{Name: "fm.assim.flushes", PerSec: 8},
+		},
+		Gauges: []obs.GaugeValue{
+			{Name: "fm.db.staleness.p50", Value: int64(40 * sim.Microsecond)},
+			{Name: "fm.db.staleness.p99", Value: int64(900 * sim.Microsecond)},
+			{Name: "fm.db.staleness.max", Value: int64(2 * sim.Millisecond)},
+		},
+		Quantiles: []obs.HistQuantiles{
+			{Name: "fm.assim.batch.size", Unit: "events", Count: 16, P50: 6, P90: 12, P99: 14},
+		},
+	}
+}
+
+// TestRenderAssimBlock pins the assimilation block of the frame: the
+// staleness gauges and the coalesced PI-5 rates must both render.
+func TestRenderAssimBlock(t *testing.T) {
+	frame := render(frameDoc(), map[string][]float64{}, "http://test")
+	for _, want := range []string{
+		"db-stale",
+		"p50 40.000us",
+		"max 2.000ms",
+		"assim     120.5 PI-5/s assimilated",
+		"110.2/s coalesced",
+		"8.0 flushes/s",
+		"batch p50 6 p99 14",
+	} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+// TestRenderNoAssim checks the block degrades cleanly: no staleness
+// gauges and no PI-5 flow leave the frame free of assimilation lines.
+func TestRenderNoAssim(t *testing.T) {
+	doc := frameDoc()
+	doc.Rates = []obs.Rate{{Name: "fm.assim.events", PerSec: 0}}
+	doc.Gauges = nil
+	doc.Quantiles = nil
+	frame := render(doc, map[string][]float64{}, "http://test")
+	for _, absent := range []string{"db-stale", "assimilated"} {
+		if strings.Contains(frame, absent) {
+			t.Errorf("idle frame still shows %q:\n%s", absent, frame)
+		}
+	}
+}
+
+// TestOnceFrame exercises the -once pipeline end to end: fetch a
+// served /obs.json document and render one frame from it.
+func TestOnceFrame(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/obs.json" {
+			http.NotFound(w, r)
+			return
+		}
+		json.NewEncoder(w).Encode(frameDoc())
+	}))
+	defer ts.Close()
+
+	doc, err := fetch(&http.Client{Timeout: time.Second}, ts.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := map[string][]float64{}
+	push(hist, doc.Rates)
+	frame := render(doc, hist, ts.URL)
+	if !strings.Contains(frame, "gen 9") || !strings.Contains(frame, "assimilated") {
+		t.Errorf("fetched frame incomplete:\n%s", frame)
+	}
+}

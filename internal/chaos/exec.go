@@ -46,6 +46,23 @@ type Options struct {
 	// must not mutate the database, and it runs outside simulated time,
 	// so scenario fingerprints are unaffected.
 	OnDiscovery func(db *core.DB, r core.Result)
+	// Coalesce enables the manager's continuous-assimilation front-end
+	// (core.Options.AssimWindow): PI-5 reports debounce in a window of
+	// CoalesceWindowUS microseconds (default 200) bounded by
+	// CoalesceBatchMax distinct ports, and flush as one batched partial
+	// run. Only the Partial algorithm assimilates events localizedly, so
+	// the options are inert for the other kinds.
+	Coalesce         bool
+	CoalesceWindowUS float64
+	CoalesceBatchMax int
+	// Continuous > 0 appends a steady-state churn phase after the
+	// scripted events settle: that many rounds, each a Churner storm of
+	// ContinuousOps toggles (default 4) followed by full restoration,
+	// run to quiescence with the database checked against ground truth
+	// at every quiescent point. Continuous scenarios always run on the
+	// sequential path.
+	Continuous    int
+	ContinuousOps int
 }
 
 // DefaultHorizon is far beyond any legitimate phase: the worst Table 1
@@ -87,15 +104,30 @@ type Report struct {
 	// applied (for a flap, when the link came back up).
 	T0, LastChange sim.Time
 	// PI5AfterLast counts PI-5 event reports the fabric delivered at or
-	// after LastChange; ChurnRun indexes the last completed run that
-	// started at or after LastChange (-1 = none).
+	// after LastChange; ChurnRun indexes the last completed run covering
+	// LastChange — started at or after it, or a partial-assimilation run
+	// still open at it (-1 = none).
 	PI5AfterLast uint64
 	ChurnRun     int
 
 	// WantDevices/WantLinks is the alive-fabric ground truth after the
-	// script quiesced; PostChurnDevices/Links the FM database then.
+	// script quiesced; PostChurnDevices/Links the FM database then, and
+	// PostChurnFP its topology fingerprint — the quiescent-state value
+	// the coalesced/per-event equivalence suite compares across
+	// assimilation modes.
 	WantDevices, WantLinks           int
 	PostChurnDevices, PostChurnLinks int
+	PostChurnFP                      uint64
+
+	// ContinuousRounds counts completed steady-state churn rounds
+	// (Options.Continuous); ContinuousChecked the subset whose quiescent
+	// point was convergence-checked against ground truth (only loss-free
+	// scenarios are checkable — injected loss leaves the FM legitimately
+	// stale until the audit); ContinuousErrs records every invariant
+	// violated at a quiescent point.
+	ContinuousRounds  int
+	ContinuousChecked int
+	ContinuousErrs    []string
 
 	// Audit is the forced post-quiescence rediscovery.
 	AuditRequested bool
@@ -163,7 +195,7 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 	}
 
 	regions := opt.Regions
-	if regions > 1 && (len(sc.Events) > 0 || !sc.FaultPlan().Empty() || opt.Telemetry || opt.Spans) {
+	if regions > 1 && (len(sc.Events) > 0 || !sc.FaultPlan().Empty() || opt.Telemetry || opt.Spans || opt.Continuous > 0) {
 		regions = 1 // sharded fabrics cannot run these; fall back silently
 	}
 
@@ -212,13 +244,22 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 		return nil, err
 	}
 	ep := f.Device(tp.Endpoints()[0])
-	m := core.NewManager(f, ep, core.Options{
+	mopt := core.Options{
 		Algorithm:    kind,
 		MaxRetries:   sc.MaxRetries,
 		RetryBackoff: sim.Micros(sc.BackoffUS),
 		Telemetry:    reg,
 		Spans:        sp,
-	})
+	}
+	if opt.Coalesce {
+		w := opt.CoalesceWindowUS
+		if w <= 0 {
+			w = 200
+		}
+		mopt.AssimWindow = sim.Micros(w)
+		mopt.AssimBatchMax = opt.CoalesceBatchMax
+	}
+	m := core.NewManager(f, ep, mopt)
 	if opt.SkipPI5 > 0 {
 		ep.SetHandler(&pi5Filter{inner: m, skip: opt.SkipPI5})
 	}
@@ -333,12 +374,120 @@ func Execute(sc Scenario, opt Options) (*Report, error) {
 	rep.PI5AfterLast = pi5Delivered() - pi5Before
 	rep.StillDiscovering = m.Discovering()
 	for i, r := range rep.Results {
-		if r.Start >= rep.LastChange {
+		// A run started after the last change covers it; so does a
+		// partial-assimilation run already open at the change, since the
+		// partial path folds mid-flight reports straight into the run
+		// instead of starting a new one.
+		if r.Start >= rep.LastChange ||
+			(r.Algorithm == core.Partial && r.Start.Add(r.Duration) >= rep.LastChange) {
 			rep.ChurnRun = i
 		}
 	}
 	rep.WantDevices, rep.WantLinks = GroundTruth(f, ep.ID)
 	rep.PostChurnDevices, rep.PostChurnLinks = m.DB().NumNodes(), m.DB().NumLinks()
+	rep.PostChurnFP = m.DB().Fingerprint()
+
+	// Continuous steady-state churn: Churner rounds against the settled
+	// fabric, each run to quiescence and checked there — the referee for
+	// the coalescing front-end under sustained PI-5 load.
+	if opt.Continuous > 0 && !rep.StillDiscovering {
+		ch, cerr := NewChurner(tp, sc.Seed)
+		if cerr != nil {
+			return nil, cerr
+		}
+		ops := opt.ContinuousOps
+		if ops <= 0 {
+			ops = 4
+		}
+		contErr := func(round int, format string, args ...any) {
+			rep.ContinuousErrs = append(rep.ContinuousErrs,
+				fmt.Sprintf("round %d: %s", round, fmt.Sprintf(format, args...)))
+		}
+		applyRound := func(round int, evs []Event) bool {
+			base := e.Now()
+			for _, ev := range evs {
+				ev := ev
+				e.At(base.Add(sim.Micros(ev.AtUS)), func(*sim.Engine) {
+					var err error
+					if ev.Op == OpDown {
+						err = f.SetDeviceDown(topo.NodeID(ev.Node), false)
+					} else {
+						err = f.SetDeviceUp(topo.NodeID(ev.Node), false)
+					}
+					if err != nil {
+						contErr(round, "%s node %d: %v", ev.Op, ev.Node, err)
+					}
+				})
+			}
+			return runPhase(fmt.Sprintf("continuous round %d", round))
+		}
+		totalDrops := func() uint64 {
+			var sum uint64
+			for _, d := range f.Counters().Drops {
+				sum += d
+			}
+			return sum
+		}
+		// Convergence at a quiescent point is only guaranteed on a
+		// loss-free fabric, and only when the restoration segment itself
+		// dropped nothing: a restoration PI-5 whose event route crossed a
+		// still-down switch is silently lost, and partial assimilation
+		// stops exploring at known devices — the resulting hole is
+		// legitimate staleness the next audit repairs. Storm-segment drops
+		// are unavoidable (a downed switch's own endpoint can never report
+		// its death), so drops are accounted per segment.
+		lossFree := sc.Loss == 0 && sc.DropFirst == 0 && sc.FaultPlan().Empty()
+		for round := 0; round < opt.Continuous; round++ {
+			delivered := pi5Delivered()
+			nres := len(rep.Results)
+			// One round = a churn storm drained to quiescence, then full
+			// restoration drained again, so the quiescent ground truth is
+			// the whole fabric.
+			if !applyRound(round, ch.Round(ops)) {
+				return finish(), nil
+			}
+			dropsBefore := totalDrops()
+			if !applyRound(round, ch.Quiesce()) {
+				return finish(), nil
+			}
+			cleanRestore := totalDrops() == dropsBefore
+			rep.ContinuousRounds++
+			// Liveness invariants hold unconditionally: the drained queue
+			// must leave the manager idle with nothing held back in the
+			// debounce window.
+			if m.Discovering() {
+				contErr(round, "manager still discovering at quiescence")
+				continue
+			}
+			if n := m.AssimPending(); n > 0 {
+				contErr(round, "%d reports left pending in the debounce window", n)
+			}
+			if !lossFree {
+				continue
+			}
+			if pi5Delivered() > delivered && len(rep.Results) == nres {
+				contErr(round, "PI-5 reports delivered but no discovery run completed")
+				continue
+			}
+			// With everything restored the database may at worst lag
+			// behind the fabric — it must never claim devices or links
+			// the fabric does not have.
+			wd, wl := GroundTruth(f, ep.ID)
+			if m.DB().NumNodes() > wd || m.DB().NumLinks() > wl {
+				contErr(round, "database has %d devices / %d links at quiescence, fabric only %d / %d",
+					m.DB().NumNodes(), m.DB().NumLinks(), wd, wl)
+			}
+			if !cleanRestore {
+				continue
+			}
+			rep.ContinuousChecked++
+			if m.DB().NumNodes() != wd || m.DB().NumLinks() != wl {
+				contErr(round, "database has %d devices / %d links at quiescence, ground truth %d / %d",
+					m.DB().NumNodes(), m.DB().NumLinks(), wd, wl)
+			}
+		}
+		rep.StillDiscovering = m.Discovering()
+	}
 
 	// Audit: force a full rediscovery of the settled fabric. Whatever the
 	// churn did to the database, a trustworthy audit must reconstruct the
@@ -400,6 +549,7 @@ func (rep *Report) fingerprint() uint64 {
 		mix(uint64(r.Retries))
 		mix(uint64(r.GaveUp))
 		mix(uint64(r.Stale))
+		mix(uint64(r.Coalesced))
 		mix(uint64(r.Devices))
 		mix(uint64(r.Switches))
 		mix(uint64(r.Links))
@@ -411,6 +561,10 @@ func (rep *Report) fingerprint() uint64 {
 	mix(uint64(rep.WantLinks))
 	mix(uint64(rep.PostChurnDevices))
 	mix(uint64(rep.PostChurnLinks))
+	mix(rep.PostChurnFP)
+	mix(uint64(rep.ContinuousRounds))
+	mix(uint64(rep.ContinuousChecked))
+	mix(uint64(len(rep.ContinuousErrs)))
 	mix(rep.DBFingerprint)
 	return h
 }
@@ -425,13 +579,21 @@ func CrossCheck(sc Scenario, opt Options) error {
 }
 
 // CrossCheckFingerprint is CrossCheck returning a deterministic
-// observable too: every algorithm's full run fingerprint folded together
-// (FNV-1a, in PaperKinds order). Two executions of the same scenario must
-// return the same value, which is what the parallel sweep's determinism
-// smoke compares across worker counts.
+// observable too: every mode's full run fingerprint folded together
+// (FNV-1a; PaperKinds order, then Partial again with the coalescing
+// front-end). Two executions of the same scenario must return the same
+// value, which is what the parallel sweep's determinism smoke compares
+// across worker counts. Beyond the per-mode oracle, it checks that all
+// trustworthy audits agree on the final topology, and that per-event and
+// coalesced Partial — when neither was defeated by injected loss — reach
+// byte-identical quiescent databases after the scripted churn.
 func CrossCheckFingerprint(sc Scenario, opt Options) (uint64, error) {
+	type mode struct {
+		kind     core.Kind
+		coalesce bool
+	}
 	type agreed struct {
-		kind core.Kind
+		mode mode
 		fp   uint64
 	}
 	const (
@@ -445,27 +607,69 @@ func CrossCheckFingerprint(sc Scenario, opt Options) (uint64, error) {
 			combined *= prime
 		}
 	}
-	var fps []agreed
+	modes := make([]mode, 0, len(core.PaperKinds())+1)
 	for _, k := range core.PaperKinds() {
+		modes = append(modes, mode{kind: k})
+	}
+	modes = append(modes, mode{kind: core.Partial, coalesce: true})
+	name := func(md mode) string {
+		if md.coalesce {
+			return md.kind.Slug() + "+coalesce"
+		}
+		return md.kind.Slug()
+	}
+	var fps []agreed
+	var perEvent, coalesced *Report
+	for _, md := range modes {
 		s := sc
-		s.Algorithm = k.Slug()
-		rep, err := Execute(s, opt)
+		s.Algorithm = md.kind.Slug()
+		o := opt
+		o.Coalesce = md.coalesce
+		rep, err := Execute(s, o)
 		if err != nil {
-			return 0, fmt.Errorf("chaos: %s: %w", k.Slug(), err)
+			return 0, fmt.Errorf("chaos: %s: %w", name(md), err)
 		}
 		if err := (Oracle{}).Check(rep); err != nil {
-			return 0, fmt.Errorf("chaos: %s: %w", k.Slug(), err)
+			return 0, fmt.Errorf("chaos: %s: %w", name(md), err)
 		}
 		fold(rep.Fingerprint)
 		if rep.AuditRan && rep.Trustworthy(rep.Audit) {
-			fps = append(fps, agreed{k, rep.DBFingerprint})
+			fps = append(fps, agreed{md, rep.DBFingerprint})
+		}
+		if md.kind == core.Partial {
+			if md.coalesce {
+				coalesced = rep
+			} else {
+				perEvent = rep
+			}
 		}
 	}
 	for i := 1; i < len(fps); i++ {
 		if fps[i].fp != fps[0].fp {
 			return 0, fmt.Errorf("chaos: algorithms disagree on final topology: %s=%#x, %s=%#x",
-				fps[0].kind.Slug(), fps[0].fp, fps[i].kind.Slug(), fps[i].fp)
+				name(fps[0].mode), fps[0].fp, name(fps[i].mode), fps[i].fp)
 		}
 	}
+	// The equivalence property: batched-coalesced assimilation must land
+	// on the same quiescent database as per-event assimilation, unless
+	// injected loss defeated a run in either mode (a gave-up or timed-out
+	// run may legitimately truncate a subtree).
+	if perEvent != nil && coalesced != nil &&
+		allTrustworthy(perEvent) && allTrustworthy(coalesced) &&
+		perEvent.PostChurnFP != coalesced.PostChurnFP {
+		return 0, fmt.Errorf("chaos: partial assimilation modes disagree post-churn: per-event=%#x, coalesced=%#x",
+			perEvent.PostChurnFP, coalesced.PostChurnFP)
+	}
 	return combined, nil
+}
+
+// allTrustworthy reports whether every completed run in the report was
+// undefeated by injected loss (see Report.Trustworthy).
+func allTrustworthy(rep *Report) bool {
+	for _, r := range rep.Results {
+		if !rep.Trustworthy(r) {
+			return false
+		}
+	}
+	return true
 }

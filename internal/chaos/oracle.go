@@ -93,6 +93,8 @@ type Oracle struct{}
 //     scripted change, a discovery run must have started after that
 //     change, and — when that run was not defeated by injected loss —
 //     the post-churn database must equal the alive-fabric ground truth.
+//     Steady-state continuous rounds (Options.Continuous) must record
+//     no quiescent-point violations.
 //  4. Audit: the executor's forced post-quiescence rediscovery (when
 //     enabled and not defeated by loss) must equal ground truth, with a
 //     path-consistent database.
@@ -143,6 +145,12 @@ func (o Oracle) Check(rep *Report) error {
 					rep.PostChurnDevices, rep.PostChurnLinks, rep.WantDevices, rep.WantLinks)
 			}
 		}
+	}
+
+	// 3b. Steady-state churn: every quiescent point between continuous
+	// rounds already judged itself; any recorded violation fails the run.
+	for _, e := range rep.ContinuousErrs {
+		fail("chaos: continuous churn: %s", e)
 	}
 
 	// 4 + 5. Audit rediscovery.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/asi"
 	"repro/internal/route"
+	"repro/internal/sim"
 )
 
 // Node is one discovered device in the FM's topology database.
@@ -24,6 +25,11 @@ type Node struct {
 	PortActive []bool
 	// General keeps the raw decoded general information.
 	General asi.GeneralInfo
+	// Validated stamps the last simulated instant the FM heard from the
+	// device itself (probe, port read, or verify completion) — the
+	// per-node staleness the daemon's keeper ages re-audits on. It is
+	// bookkeeping, not topology: Fingerprint ignores it.
+	Validated sim.Time
 }
 
 // PortsRead reports whether every port's attributes have been read.

@@ -52,6 +52,18 @@ type Options struct {
 	// RetryBackoff is the wait before the first re-issue; each further
 	// attempt doubles it, capped at 8x. Zero means 100us.
 	RetryBackoff sim.Duration
+	// AssimWindow enables the Partial algorithm's coalescing front-end:
+	// accepted PI-5 reports debounce for this long (the window slides
+	// with each arrival) before one batched partial run assimilates
+	// them; reports for the same (reporter, port) collapse to the final
+	// state. Zero (the default) keeps per-event assimilation. Only the
+	// Partial algorithm consults it.
+	AssimWindow sim.Duration
+	// AssimBatchMax caps the distinct (reporter, port) entries a batch
+	// holds before flushing immediately — the bound that keeps a
+	// sustained event stream from sliding the debounce window forever.
+	// Zero selects 64 when AssimWindow is set.
+	AssimBatchMax int
 	// Telemetry, when non-nil, records the FM's operational metrics —
 	// per-phase service-time and round-trip histograms, work-queue depth,
 	// timeout/retry counters — into the given registry. Nil (the default)
@@ -90,6 +102,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 100 * sim.Microsecond
+	}
+	if o.AssimWindow > 0 && o.AssimBatchMax <= 0 {
+		o.AssimBatchMax = 64
 	}
 	return o
 }
@@ -149,6 +164,7 @@ const (
 	wTimeout
 	wEvent
 	wSync
+	wFlush // coalesced-assimilation batch flush (Options.AssimWindow)
 	numWorkKinds
 )
 
@@ -238,8 +254,21 @@ type Manager struct {
 	watchdog *Watchdog
 
 	// partialSeq tracks the last PI-5 sequence seen per reporter, so
-	// stale reports do not re-trigger partial assimilation.
+	// stale reports do not re-trigger partial assimilation. Cursors are
+	// pruned with their device (removeNode, ExpireReporters) so the map
+	// stays bounded under steady-state churn.
 	partialSeq map[asi.DSN]uint32
+
+	// assimPending is the coalescing front-end's debounce batch, keyed
+	// by (reporter, port) with the latest report winning; non-nil only
+	// when Options.AssimWindow selects coalesced assimilation.
+	// assimEvents counts reports absorbed into the open batch (including
+	// superseded ones); assimQueued marks a wFlush item already in the
+	// work queue.
+	assimPending map[assimKey]asi.PI5
+	assimEvents  int
+	assimTimer   *sim.Timer
+	assimQueued  bool
 
 	// stale counts completions whose request had already timed out.
 	stale int
@@ -288,6 +317,9 @@ func NewManager(f *fabric.Fabric, dev *fabric.Device, opt Options) *Manager {
 	m.workTimer = m.e.NewTimer(m.completeWork)
 	m.timeoutFn = func(_ *sim.Engine, arg any) { m.onTimeout(arg.(*request)) }
 	m.retryFn = func(_ *sim.Engine, arg any) { m.onRetryBackoff(arg.(*request)) }
+	if m.opt.Algorithm == Partial && m.opt.AssimWindow > 0 {
+		m.initAssim()
+	}
 	m.drv = m.newDriver()
 	dev.SetHandler(m)
 	return m
@@ -464,6 +496,8 @@ func (m *Manager) handleWork(w work) {
 		if m.team != nil {
 			m.team.onSync(m, w.sync)
 		}
+	case wFlush:
+		m.applyAssimBatch()
 	}
 }
 
@@ -493,6 +527,7 @@ func (m *Manager) discoverSelf() {
 		host.PortKnown[p] = true
 		host.PortActive[p] = m.dev.PortActive(p)
 	}
+	host.Validated = m.e.Now()
 	m.db.AddNode(host)
 }
 
@@ -524,6 +559,7 @@ func (m *Manager) applyCompletion(req *request, resp asi.PI4) {
 		if !isNew {
 			n = m.db.Node(gi.DSN)
 		}
+		n.Validated = m.e.Now()
 		m.db.AddLink(Link{A: req.srcDSN, APort: req.srcPort, B: gi.DSN, BPort: int(resp.ArrivalPort)})
 		m.drv.onGeneral(req, n, isNew, true)
 	case reqReadPort:
@@ -540,6 +576,9 @@ func (m *Manager) applyCompletion(req *request, resp asi.PI4) {
 			count = 1
 		}
 		ok := resp.Op == asi.PI4ReadCompletionData
+		if ok {
+			n.Validated = m.e.Now()
+		}
 		for k := 0; k < count && req.port+k < n.Ports; k++ {
 			port := req.port + k
 			n.PortKnown[port] = true
@@ -851,6 +890,7 @@ func (m *Manager) beginRun() {
 	m.discovering = true
 	m.partialRun = false
 	m.dirty = false
+	m.dropAssimPending()
 	m.prevDB = m.db
 	m.db = NewDB(m.dev.DSN)
 	m.drv = m.newDriver()

@@ -43,6 +43,13 @@ func (m *Manager) handleEventPartial(ev asi.PI5) {
 	}
 	m.partialSeq[ev.Reporter] = ev.Sequence
 
+	if m.assimEnabled() {
+		// Coalesced mode: accepted reports debounce into one batched
+		// partial run (assim.go) instead of each paying its own.
+		m.coalesce(ev)
+		return
+	}
+
 	if m.discovering && !m.partialRun {
 		// A full (initial) discovery is running; fold the change into a
 		// rerun.
@@ -69,12 +76,22 @@ func (m *Manager) handleEventPartial(ev asi.PI5) {
 
 // partialDown removes the lost link and repairs the database.
 func (m *Manager) partialDown(rep *Node, port int) {
+	if m.dropLink(rep, port) {
+		m.refreshPaths()
+	}
+}
+
+// dropLink applies a port-down report to the database — port flags and
+// link removal — without repairing paths, so a coalesced batch can fold
+// several losses into one refreshPaths pass. It reports whether a link
+// was actually removed.
+func (m *Manager) dropLink(rep *Node, port int) bool {
 	if port < rep.Ports {
 		rep.PortActive[port] = false
 	}
 	l, ok := m.db.LinkAt(rep.DSN, port)
 	if !ok {
-		return // other side reported first; already handled
+		return false // other side reported first; already handled
 	}
 	m.db.RemoveLink(l)
 	// Mark the far side's port inactive too, if that device survives.
@@ -85,7 +102,7 @@ func (m *Manager) partialDown(rep *Node, port int) {
 	if other := m.db.Node(otherDSN); other != nil && otherPort < other.Ports {
 		other.PortActive[otherPort] = false
 	}
-	m.refreshPaths()
+	return true
 }
 
 // partialUp probes through the newly active port.
@@ -118,7 +135,7 @@ func (m *Manager) refreshPaths() {
 		}
 		p, arrive := m.db.PathTo(n.DSN)
 		if p == nil {
-			m.db.RemoveNode(n.DSN)
+			m.removeNode(n.DSN)
 			continue
 		}
 		if pathEqual(p, n.Path) {
@@ -151,10 +168,11 @@ func (m *Manager) onVerify(req *request, resp asi.PI4, ok bool) {
 	}
 	if ok && resp.Op == asi.PI4ReadCompletionData {
 		if gi, err := asi.ParseGeneralInfo(resp.Data); err == nil && gi.DSN == req.dsn {
+			n.Validated = m.e.Now()
 			return // confirmed
 		}
 	}
-	m.db.RemoveNode(req.dsn)
+	m.removeNode(req.dsn)
 	m.refreshPaths()
 }
 

@@ -45,6 +45,10 @@ type Result struct {
 	// out; under retries these are the originals outrun by their own
 	// retransmission.
 	Stale int
+	// Coalesced counts PI-5 reports this run assimilated through the
+	// coalescing front-end's batched flushes (Options.AssimWindow);
+	// always zero under per-event assimilation.
+	Coalesced int
 	// Devices/Switches/Links summarize the resulting topology database.
 	Devices, Switches, Links int
 	// Timeline is the per-packet FM processing trace (Fig. 7a).

@@ -27,6 +27,26 @@ const (
 	MetricFMStale         = "fm.stale"
 )
 
+// Continuous-assimilation metric names. fm.assim.events counts PI-5
+// reports accepted into the coalescing front-end (its windowed rate is
+// the sustained PI-5s/s assimilated); fm.assim.events.coalesced the
+// subset absorbed into an already-open batch (saved runs);
+// fm.assim.superseded reports replaced by a later report for the same
+// (reporter, port); fm.assim.flushes the batched partial runs and
+// fm.assim.batch.size their size distribution. The fm.db.staleness.*
+// gauges publish the per-node last-validated age percentiles
+// (picoseconds) the daemon's keeper ages its re-audits on.
+const (
+	MetricFMAssimEvents     = "fm.assim.events"
+	MetricFMAssimCoalesced  = "fm.assim.events.coalesced"
+	MetricFMAssimSuperseded = "fm.assim.superseded"
+	MetricFMAssimFlushes    = "fm.assim.flushes"
+	MetricFMAssimBatch      = "fm.assim.batch.size"
+	MetricFMDBStaleP50      = "fm.db.staleness.p50"
+	MetricFMDBStaleP99      = "fm.db.staleness.p99"
+	MetricFMDBStaleMax      = "fm.db.staleness.max"
+)
+
 // label names a work phase for metric naming.
 func (k workKind) label() string {
 	switch k {
@@ -38,6 +58,8 @@ func (k workKind) label() string {
 		return "timeout"
 	case wEvent:
 		return "event"
+	case wFlush:
+		return "flush"
 	default:
 		return "sync"
 	}
@@ -91,16 +113,37 @@ type fmTelemetry struct {
 	retries    *telemetry.Counter
 	giveups    *telemetry.Counter
 	stale      *telemetry.Counter
+
+	assimEvents     *telemetry.Counter
+	assimCoalesced  *telemetry.Counter
+	assimSuperseded *telemetry.Counter
+	assimFlushes    *telemetry.Counter
+	assimBatch      *telemetry.Histogram
+	stalenessP50    *telemetry.Gauge
+	stalenessP99    *telemetry.Gauge
+	stalenessMax    *telemetry.Gauge
 }
+
+// batchBounds buckets coalesced-batch sizes (events per flush); powers
+// of two up to the largest AssimBatchMax a config would plausibly set.
+var batchBounds = []int64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // newFMTelemetry registers the FM metric set with reg.
 func newFMTelemetry(reg *telemetry.Registry) *fmTelemetry {
 	t := &fmTelemetry{
-		queueDepth: reg.Gauge(MetricFMQueueDepth),
-		timeouts:   reg.Counter(MetricFMTimeouts),
-		retries:    reg.Counter(MetricFMRetries),
-		giveups:    reg.Counter(MetricFMGiveups),
-		stale:      reg.Counter(MetricFMStale),
+		queueDepth:      reg.Gauge(MetricFMQueueDepth),
+		timeouts:        reg.Counter(MetricFMTimeouts),
+		retries:         reg.Counter(MetricFMRetries),
+		giveups:         reg.Counter(MetricFMGiveups),
+		stale:           reg.Counter(MetricFMStale),
+		assimEvents:     reg.Counter(MetricFMAssimEvents),
+		assimCoalesced:  reg.Counter(MetricFMAssimCoalesced),
+		assimSuperseded: reg.Counter(MetricFMAssimSuperseded),
+		assimFlushes:    reg.Counter(MetricFMAssimFlushes),
+		assimBatch:      reg.Histogram(MetricFMAssimBatch, "events", batchBounds),
+		stalenessP50:    reg.Gauge(MetricFMDBStaleP50),
+		stalenessP99:    reg.Gauge(MetricFMDBStaleP99),
+		stalenessMax:    reg.Gauge(MetricFMDBStaleMax),
 	}
 	for k := workKind(0); k < numWorkKinds; k++ {
 		t.service[k] = reg.Histogram(MetricFMServicePrefix+k.label(), "ps", durationBounds)

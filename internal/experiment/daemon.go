@@ -45,6 +45,19 @@ type DaemonConfig struct {
 	// ScrapeMS is the observability plane's scrape interval in
 	// milliseconds; 0 selects the default (1000).
 	ScrapeMS int `json:"scrape_ms,omitempty"`
+	// AssimWindowUS enables the coalescing assimilation front-end
+	// (requires the "partial" algorithm): PI-5 reports debounce for this
+	// many microseconds of simulated time, then one batched partial run
+	// assimilates the union. 0 keeps per-event assimilation.
+	AssimWindowUS int `json:"assim_window_us,omitempty"`
+	// AssimBatchMax caps distinct (reporter, port) changes per coalesced
+	// batch; 0 selects the core default. Requires AssimWindowUS.
+	AssimBatchMax int `json:"assim_batch_max,omitempty"`
+	// StaleAfterMS makes the keeper's re-audit concern fire whenever the
+	// maximum per-node database staleness (simulated time since last
+	// validated contact) exceeds this many milliseconds; 0 disables the
+	// staleness trigger (AuditEvery still audits by round count).
+	StaleAfterMS int `json:"stale_after_ms,omitempty"`
 }
 
 // DefaultDaemonConfig returns the documented defaults.
@@ -105,6 +118,22 @@ func (dc DaemonConfig) Validate() error {
 	}
 	if dc.ScrapeMS < 0 {
 		return fmt.Errorf("experiment: daemon config scrape_ms %d is negative", dc.ScrapeMS)
+	}
+	if dc.AssimWindowUS < 0 {
+		return fmt.Errorf("experiment: daemon config assim_window_us %d is negative", dc.AssimWindowUS)
+	}
+	if dc.AssimWindowUS > 0 && dc.Kind() != core.Partial {
+		return fmt.Errorf("experiment: daemon config assim_window_us requires algorithm %q, not %q",
+			core.Partial.Slug(), dc.Kind().Slug())
+	}
+	if dc.AssimBatchMax < 0 {
+		return fmt.Errorf("experiment: daemon config assim_batch_max %d is negative", dc.AssimBatchMax)
+	}
+	if dc.AssimBatchMax > 0 && dc.AssimWindowUS == 0 {
+		return fmt.Errorf("experiment: daemon config assim_batch_max without assim_window_us")
+	}
+	if dc.StaleAfterMS < 0 {
+		return fmt.Errorf("experiment: daemon config stale_after_ms %d is negative", dc.StaleAfterMS)
 	}
 	return nil
 }

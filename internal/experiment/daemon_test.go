@@ -20,9 +20,10 @@ func TestDaemonConfigDefaultsValid(t *testing.T) {
 
 func TestDaemonConfigRoundTrip(t *testing.T) {
 	dc := DaemonConfig{
-		Topology: "4x4 mesh", Algorithm: "serial-device", Seed: 7,
+		Topology: "4x4 mesh", Algorithm: "partial", Seed: 7,
 		ChurnOps: 2, Rounds: 5, AuditEvery: 3, QueueDepth: 16, Listen: ":9000",
 		Regions: 2, ScrapeMS: 250,
+		AssimWindowUS: 200, AssimBatchMax: 16, StaleAfterMS: 2,
 	}
 	back, err := DecodeDaemonConfig(bytes.NewReader(dc.EncodeJSON()))
 	if err != nil {
@@ -31,7 +32,7 @@ func TestDaemonConfigRoundTrip(t *testing.T) {
 	if back != dc {
 		t.Errorf("round trip drifted: %+v from %+v", back, dc)
 	}
-	if back.Kind() != core.SerialDevice {
+	if back.Kind() != core.Partial {
 		t.Errorf("algorithm resolved to %v", back.Kind())
 	}
 }
@@ -64,6 +65,14 @@ func TestDaemonConfigValidation(t *testing.T) {
 		{"queue", func(c *DaemonConfig) { c.QueueDepth = -3 }, "queue_depth"},
 		{"regions", func(c *DaemonConfig) { c.Regions = -1 }, "regions"},
 		{"scrape", func(c *DaemonConfig) { c.ScrapeMS = -1 }, "scrape_ms"},
+		{"assim window negative", func(c *DaemonConfig) { c.AssimWindowUS = -1 }, "assim_window_us"},
+		{"assim window non-partial", func(c *DaemonConfig) { c.AssimWindowUS = 200 }, "requires algorithm"},
+		{"assim batch negative", func(c *DaemonConfig) { c.AssimBatchMax = -1 }, "assim_batch_max"},
+		{"assim batch without window", func(c *DaemonConfig) {
+			c.Algorithm = "partial"
+			c.AssimBatchMax = 8
+		}, "without assim_window_us"},
+		{"stale after", func(c *DaemonConfig) { c.StaleAfterMS = -1 }, "stale_after_ms"},
 	}
 	for _, tc := range cases {
 		dc := DefaultDaemonConfig()
